@@ -1,0 +1,50 @@
+// Ablation: adaptive schedule blocks (extension beyond the paper).
+//
+// The paper's procedures stretch every block to 2n+1 rounds so that any
+// fragment shape fits. But at the start of phase p every fragment's
+// depth is provably at most B_p (B_1 = 0, B_{p+1} = 3B_p + 1), so blocks
+// of span B_p + 1 suffice. The execution is bit-identical — same coins,
+// same tree, same awake complexity — while the run time drops by a
+// constant factor (the log n early phases cost O(3^p) instead of O(n)
+// rounds each). The asymptotic class stays O(n log n): the paper's
+// round-complexity claim is robust to this optimization.
+#include <iostream>
+
+#include "smst/graph/generators.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/util/table.h"
+
+int main() {
+  std::cout << "== ablation: fixed 2n+1 blocks vs adaptive depth-bounded "
+               "blocks (Randomized-MST) ==\n\n";
+  smst::Table t({"n", "rounds (fixed)", "rounds (adaptive)", "speedup",
+                 "awake (both)", "same tree?"});
+  for (std::size_t n : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    smst::Xoshiro256 rng(n);
+    auto g = smst::MakeErdosRenyi(n, 8.0 / double(n), rng);
+    smst::MstOptions fixed;
+    fixed.seed = 3;
+    smst::MstOptions adaptive = fixed;
+    adaptive.adaptive_blocks = true;
+    auto a = smst::RunRandomizedMst(g, fixed);
+    auto b = smst::RunRandomizedMst(g, adaptive);
+    if (a.stats.max_awake != b.stats.max_awake) {
+      std::cerr << "awake mismatch!\n";
+      return 1;
+    }
+    t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
+              smst::Table::Num(a.stats.rounds),
+              smst::Table::Num(b.stats.rounds),
+              smst::Table::Num(double(a.stats.rounds) / double(b.stats.rounds),
+                               2),
+              smst::Table::Num(a.stats.max_awake),
+              a.tree_edges == b.tree_edges ? "yes" : "NO"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected: identical trees and awake complexity, with a "
+               "~1.3-1.5x round speedup: the first ~log_3(n)\nphases shrink "
+               "from Theta(n) to Theta(3^p) rounds each, but B_p saturates "
+               "at n for the remaining\n~log_{4/3}(n) phases — a constant-"
+               "factor win that leaves the paper's O(n log n) class intact.\n";
+  return 0;
+}

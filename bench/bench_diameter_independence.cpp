@@ -1,0 +1,63 @@
+// Experiment D-indep — the paper's §1 headline: awake complexity bypasses
+// the Omega(D) round lower bound for global problems.
+//
+// At fixed n we sweep topologies whose hop diameters range from 1
+// (complete graph) to n-1 (path): round complexity in the traditional
+// model can never beat D, but the sleeping algorithms' awake complexity
+// stays flat at O(log n) regardless of D.
+#include <iostream>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/mst_verify.h"
+#include "smst/graph/properties.h"
+#include "smst/mst/api.h"
+#include "smst/util/table.h"
+
+int main() {
+  std::cout << "== D-indep: awake complexity is diameter-independent "
+               "(bypassing the Omega(D) round bound) ==\n\n";
+  const std::size_t n = 256;
+  smst::Xoshiro256 rng(7);
+
+  struct Family {
+    const char* name;
+    smst::WeightedGraph g;
+  };
+  std::vector<Family> families;
+  families.push_back({"complete", smst::MakeComplete(64, rng)});  // D=1
+  families.push_back({"hypercube(8)", smst::MakeHypercube(8, rng)});
+  families.push_back({"grid 16x16", smst::MakeGrid(16, 16, rng)});
+  families.push_back({"ring", smst::MakeRing(n, rng)});
+  families.push_back({"caterpillar", smst::MakeCaterpillar(n / 2, rng)});
+  families.push_back({"path", smst::MakePath(n, rng)});  // D=n-1
+
+  smst::Table t({"family", "n", "diameter D", "awake (randomized)",
+                 "awake (deterministic)", "rounds (randomized)"});
+  for (auto& fam : families) {
+    const auto d = smst::ExactDiameter(fam.g);
+    auto rnd = smst::ComputeMst(fam.g, smst::MstAlgorithm::kRandomized,
+                                {.seed = 11});
+    auto det = smst::ComputeMst(fam.g, smst::MstAlgorithm::kDeterministic,
+                                {.seed = 11});
+    for (const auto* r : {&rnd, &det}) {
+      auto check = smst::VerifyExactMst(fam.g, r->tree_edges);
+      if (!check.ok) {
+        std::cerr << "verification failed on " << fam.name << ": "
+                  << check.error << "\n";
+        return 1;
+      }
+    }
+    t.AddRow({fam.name,
+              smst::Table::Num(static_cast<std::uint64_t>(fam.g.NumNodes())),
+              smst::Table::Num(static_cast<std::uint64_t>(d)),
+              smst::Table::Num(rnd.stats.max_awake),
+              smst::Table::Num(det.stats.max_awake),
+              smst::Table::Num(rnd.stats.rounds)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected: D spans 1 to n-1 (~250x) while both awake "
+               "columns move only with log n —\nan MST is a *global* "
+               "structure, yet no node needs to be awake anywhere near D "
+               "rounds.\n";
+  return 0;
+}

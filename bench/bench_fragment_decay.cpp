@@ -1,0 +1,65 @@
+// Experiment L1-decay — Lemma 1.
+//
+// In Randomized-MST, the expected number of fragments drops by a factor
+// >= 4/3 per phase (a fragment survives only if it flips heads or its
+// MOE points at another tails fragment: probability <= 3/4). We average
+// the per-phase fragment counts over many seeds and compare the measured
+// survival ratio with the 3/4 bound, and the phase count with the
+// 4*ceil(log_{4/3} n) + 1 budget.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "smst/graph/generators.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/util/table.h"
+
+int main() {
+  std::cout << "== L1-decay: Lemma 1 — fragments shrink by >= 4/3 per phase "
+               "(expectation) ==\n\n";
+  constexpr int kSeeds = 20;
+  const std::size_t n = 512;
+
+  std::vector<double> frag_sum;  // mean fragments at phase p
+  std::vector<int> samples;
+  double phases_sum = 0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    smst::Xoshiro256 rng(seed);
+    auto g = smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
+    auto r = smst::RunRandomizedMst(g, {.seed = static_cast<std::uint64_t>(seed)});
+    phases_sum += static_cast<double>(r.phases);
+    for (std::uint64_t p = 1; p <= r.phases; ++p) {
+      if (frag_sum.size() < p) {
+        frag_sum.resize(p, 0.0);
+        samples.resize(p, 0);
+      }
+      frag_sum[p - 1] += static_cast<double>(r.fragments_per_phase[p]);
+      ++samples[p - 1];
+    }
+  }
+
+  smst::Table t({"phase", "mean fragments", "survival ratio",
+                 "Lemma 1 bound", "runs still active"});
+  for (std::size_t p = 0; p < frag_sum.size(); ++p) {
+    const double mean = frag_sum[p] / samples[p];
+    std::string ratio = "-";
+    if (p > 0 && samples[p] == samples[p - 1]) {
+      ratio = smst::Table::Num(mean / (frag_sum[p - 1] / samples[p - 1]), 3);
+    }
+    t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(p + 1)),
+              smst::Table::Num(mean, 1), ratio, "<= 0.750",
+              smst::Table::Num(static_cast<std::uint64_t>(samples[p]))});
+  }
+  t.Print(std::cout);
+
+  const double budget = smst::RandomizedPaperPhaseCount(n);
+  std::cout << "\nmean phases to termination: " << phases_sum / kSeeds
+            << "   paper budget 4*ceil(log_{4/3} n)+1 = " << budget
+            << "   (n = " << n << ", " << kSeeds << " seeds)\n"
+            << "Expected: the measured survival ratio hovers right at the "
+               "3/4 expectation bound — Lemma 1's analysis\nis tight "
+               "(variance lets late, small-sample phases wiggle around it) "
+               "— and the phase count stays well\ninside the paper "
+               "budget.\n";
+  return 0;
+}

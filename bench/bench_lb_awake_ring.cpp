@@ -1,0 +1,102 @@
+// Experiment T1-lb-awake — Table 1, "AT Lower Bound" (Theorem 3).
+//
+// The Omega(log n) awake lower bound on rings, measured from three
+// angles: (a) the witness structure — the two heaviest edges of a
+// random-weight ring are far apart, so an MST decision must cross
+// Omega(n) hops; (b) our algorithms' measured awake complexity vs the
+// log_13(n) floor (they sit a constant factor above it, i.e. they are
+// awake-optimal); (c) the Lemma-11 isolation statistic replayed from the
+// actual wake schedules.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "smst/graph/generators.h"
+#include "smst/lower_bounds/ring_experiment.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/mst/deterministic_mst.h"
+#include "smst/util/table.h"
+
+int main() {
+  std::cout << "== T1-lb-awake: Theorem 3 — Omega(log n) awake lower bound "
+               "on rings ==\n\n";
+
+  // (a) Separation of the two heaviest edges, over seeds.
+  {
+    std::cout << "-- witness structure: hop separation of the two heaviest "
+                 "edges (20 seeds)\n";
+    smst::Table t({"n", "mean separation", "mean / n", "P[sep >= n/8]"});
+    for (std::size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
+      double total = 0;
+      int big = 0;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        smst::Xoshiro256 rng(seed * 1000 + n);
+        auto g = smst::MakeRing(n, rng);
+        const auto sep = smst::TwoHeaviestEdgeSeparation(g);
+        total += static_cast<double>(sep);
+        big += sep >= n / 8 ? 1 : 0;
+      }
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
+                smst::Table::Num(total / 20, 1),
+                smst::Table::Num(total / 20 / double(n), 3),
+                smst::Table::Num(big / 20.0, 2)});
+    }
+    t.Print(std::cout);
+    std::cout << "(uniform edge positions -> mean separation ~ n/4; the "
+                 "constant-probability Omega(n) gap the proof needs)\n\n";
+  }
+
+  // (b) Measured awake vs the floor.
+  {
+    std::cout << "-- measured awake complexity vs the Theorem-3 floor\n";
+    smst::Table t({"n", "floor log_13 n", "Randomized awake",
+                   "ratio", "Deterministic awake", "ratio"});
+    for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+      smst::Xoshiro256 rng(n);
+      auto g = smst::MakeRing(n, rng);
+      auto rnd = smst::RunRandomizedMst(g, {.seed = 5});
+      auto det = smst::RunDeterministicMst(g, {.seed = 5});
+      const double floor = smst::RingAwakeFloor(n);
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
+                smst::Table::Num(floor, 2),
+                smst::Table::Num(rnd.stats.max_awake),
+                smst::Table::Num(double(rnd.stats.max_awake) / floor, 1),
+                smst::Table::Num(det.stats.max_awake),
+                smst::Table::Num(double(det.stats.max_awake) / floor, 1)});
+    }
+    t.Print(std::cout);
+    std::cout << "(measured >= floor always; the roughly flat ratio columns "
+                 "are the algorithms' awake-optimality)\n\n";
+  }
+
+  // (c) Lemma 11 isolation fractions from real wake schedules.
+  {
+    std::cout << "-- Lemma 11 replay: fraction of 13^a-segments with an "
+                 "isolated vertex after a wakes (Randomized-MST run)\n";
+    smst::Table t({"n", "a=1", "a=2", "a=3"});
+    for (std::size_t n : {169u, 2197u}) {  // 13^2, 13^3
+      smst::MstOptions opt;
+      opt.seed = 7;
+      opt.record_wake_times = true;
+      smst::Xoshiro256 rng(n);
+      auto g = smst::MakeRing(n, rng);
+      auto run = smst::RunRandomizedMst(g, opt);
+      std::vector<std::string> row{
+          smst::Table::Num(static_cast<std::uint64_t>(n))};
+      for (std::size_t a = 1; a <= 3; ++a) {
+        std::size_t len = 1;
+        for (std::size_t i = 0; i < a; ++i) len *= 13;
+        row.push_back(len <= n
+                          ? smst::Table::Num(smst::SegmentIsolationFraction(
+                                                 n, run.wake_times, a),
+                                             3)
+                          : "-");
+      }
+      t.AddRow(row);
+    }
+    t.Print(std::cout);
+    std::cout << "(the proof guarantees >= 0.5 for every algorithm; chaining "
+                 "a up to log_13 n forces Omega(log n) awake rounds)\n";
+  }
+  return 0;
+}

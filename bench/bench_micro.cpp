@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark): substrate throughput — sequential
+// reference MSTs, graph generators, the round engine, and the toolbox
+// procedures. These are engineering baselines (how much wall-clock a unit
+// of simulation costs), not paper claims.
+#include <benchmark/benchmark.h>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/mst_reference.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/forest_builder.h"
+#include "smst/sleeping/procedures.h"
+
+namespace {
+
+using namespace smst;
+
+void BM_Kruskal(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  auto g = MakeErdosRenyi(static_cast<std::size_t>(state.range(0)), 0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KruskalMst(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_Kruskal)->Arg(256)->Arg(1024);
+
+void BM_Prim(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  auto g = MakeErdosRenyi(static_cast<std::size_t>(state.range(0)), 0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrimMst(g));
+  }
+}
+BENCHMARK(BM_Prim)->Arg(256)->Arg(1024);
+
+void BM_Boruvka(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  auto g = MakeErdosRenyi(static_cast<std::size_t>(state.range(0)), 0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoruvkaMst(g));
+  }
+}
+BENCHMARK(BM_Boruvka)->Arg(256)->Arg(1024);
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeErdosRenyi(n, 8.0 / double(n), rng));
+  }
+}
+BENCHMARK(BM_GenerateErdosRenyi)->Arg(256)->Arg(1024);
+
+Task<void> PingNode(NodeContext& ctx, int rounds) {
+  for (int r = 1; r <= rounds; ++r) {
+    std::vector<OutMessage> sends;
+    for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+      sends.push_back({p, Message{1, ctx.Id(), 0, 0}});
+    }
+    co_await ctx.Awake(static_cast<Round>(r), std::move(sends));
+  }
+}
+
+// Round-engine throughput: every node awake and chattering every round.
+void BM_SimulatorDenseRounds(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  auto g = MakeRing(static_cast<std::size_t>(state.range(0)), rng);
+  constexpr int kRounds = 64;
+  for (auto _ : state) {
+    Simulator sim(g);
+    sim.Run([](NodeContext& ctx) { return PingNode(ctx, kRounds); });
+    benchmark::DoNotOptimize(sim.Stats());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kRounds);
+}
+BENCHMARK(BM_SimulatorDenseRounds)->Arg(64)->Arg(512);
+
+Task<void> BroadcastNode(NodeContext& ctx, const std::vector<LdtState>* states) {
+  co_await FragmentBroadcast(ctx, (*states)[ctx.Index()], 1,
+                             Message{1, 7, 0, 0});
+}
+
+void BM_FragmentBroadcast(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  GeneratorOptions opt;
+  opt.shuffle_ids = false;
+  auto g = MakePath(static_cast<std::size_t>(state.range(0)), rng, opt);
+  std::vector<EdgeIndex> tree;
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) tree.push_back(e);
+  auto states = BuildForest(g, tree, {0});
+  for (auto _ : state) {
+    Simulator sim(g);
+    sim.Run([&states](NodeContext& ctx) {
+      return BroadcastNode(ctx, &states);
+    });
+    benchmark::DoNotOptimize(sim.Stats());
+  }
+}
+BENCHMARK(BM_FragmentBroadcast)->Arg(256)->Arg(2048);
+
+void BM_RandomizedMstEndToEnd(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto g = MakeErdosRenyi(n, 8.0 / double(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunRandomizedMst(g, {.seed = 1}));
+  }
+}
+BENCHMARK(BM_RandomizedMstEndToEnd)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment L7-phase — Lemmas 3 and 7: every toolbox procedure costs
+// O(1) awake rounds and O(n) running time; a whole phase costs O(1)
+// awake rounds. We run each procedure in isolation on path-shaped LDTs
+// of growing n (the deepest trees, i.e. the worst case for the
+// schedule), and print the measured constants.
+#include <iostream>
+#include <vector>
+
+#include "smst/graph/generators.h"
+#include "smst/mst/deterministic_mst.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/forest_builder.h"
+#include "smst/sleeping/merging.h"
+#include "smst/sleeping/procedures.h"
+#include "smst/util/table.h"
+
+namespace {
+
+using namespace smst;
+
+struct ProcedureProbe {
+  const char* name;
+  // Returns a per-node program; receives the node's LDT state.
+  std::function<Task<void>(NodeContext&, const LdtState&)> run;
+};
+
+Task<void> RunBroadcast(NodeContext& ctx, const LdtState& ldt) {
+  co_await FragmentBroadcast(ctx, ldt, 1, Message{1, 99, 0, 0});
+}
+Task<void> RunUpcast(NodeContext& ctx, const LdtState& ldt) {
+  co_await UpcastMin(ctx, ldt, 1, UpcastItem{ctx.Id(), 0, 0});
+}
+Task<void> RunUpcastSum(NodeContext& ctx, const LdtState& ldt) {
+  co_await UpcastSum(ctx, ldt, 1, 1);
+}
+Task<void> RunSide(NodeContext& ctx, const LdtState& ldt) {
+  co_await TransmitAdjacent(ctx, ldt, 1,
+                            ToAllPorts(ctx, Message{2, ctx.Id(), 0, 0}));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== L7-phase: Lemmas 3/7 — O(1) awake rounds per procedure "
+               "and per phase ==\n\n";
+
+  // --- toolbox procedures on a path LDT (depth n-1) -------------------
+  {
+    smst::Table t({"procedure", "n", "max awake", "rounds",
+                   "rounds/(2n+1)"});
+    const ProcedureProbe probes[] = {
+        {"Fragment-Broadcast", RunBroadcast},
+        {"Upcast-Min", RunUpcast},
+        {"Upcast-Sum", RunUpcastSum},
+        {"Transmit-Adjacent", RunSide},
+    };
+    for (const auto& probe : probes) {
+      for (std::size_t n : {64u, 512u, 4096u}) {
+        Xoshiro256 rng(n);
+        GeneratorOptions opt;
+        opt.shuffle_ids = false;
+        auto g = MakePath(n, rng, opt);
+        std::vector<EdgeIndex> tree;
+        for (EdgeIndex e = 0; e < g.NumEdges(); ++e) tree.push_back(e);
+        auto states = BuildForest(g, tree, {0});
+        Simulator sim(g);
+        sim.Run([&](NodeContext& ctx) {
+          return probe.run(ctx, states[ctx.Index()]);
+        });
+        auto s = sim.Stats();
+        t.AddRow({probe.name, Table::Num(static_cast<std::uint64_t>(n)),
+                  Table::Num(s.max_awake), Table::Num(s.rounds),
+                  Table::Num(double(s.rounds) / double(2 * n + 1), 2)});
+      }
+    }
+    t.Print(std::cout);
+    std::cout << "(max awake is a constant <= 2 at every n; each procedure "
+                 "spans at most one (2n+1)-round block)\n\n";
+  }
+
+  // --- awake rounds per phase, whole algorithms ------------------------
+  {
+    std::cout << "-- awake rounds per phase (awake complexity / phases):\n";
+    smst::Table t({"algorithm", "n", "phases", "max awake",
+                   "awake per phase"});
+    for (std::size_t n : {128u, 512u}) {
+      Xoshiro256 rng(n + 3);
+      auto g = MakeErdosRenyi(n, 8.0 / double(n), rng);
+      auto rr = RunRandomizedMst(g, {.seed = 1});
+      auto dr = RunDeterministicMst(g, {.seed = 1});
+      t.AddRow({"Randomized-MST", Table::Num(static_cast<std::uint64_t>(n)),
+                Table::Num(rr.phases), Table::Num(rr.stats.max_awake),
+                Table::Num(double(rr.stats.max_awake) / double(rr.phases), 2)});
+      t.AddRow({"Deterministic-MST", Table::Num(static_cast<std::uint64_t>(n)),
+                Table::Num(dr.phases), Table::Num(dr.stats.max_awake),
+                Table::Num(double(dr.stats.max_awake) / double(dr.phases), 2)});
+    }
+    t.Print(std::cout);
+    std::cout << "(the per-phase awake constant is flat in n — Lemma 7; "
+                 "multiplied by O(log n) phases it gives Theorem 1/2's "
+                 "O(log n) awake complexity)\n";
+  }
+  return 0;
+}

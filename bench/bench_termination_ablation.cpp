@@ -1,0 +1,83 @@
+// Ablation for the termination-mode design choice (DESIGN.md §2.1).
+//
+// The paper runs a fixed phase budget; our default adds an in-model DONE
+// broadcast (O(1) extra awake rounds) and stops exactly when one
+// fragment remains. This bench quantifies what each choice costs:
+// identical trees, identical awake complexity, but the paper budget
+// inflates the round count by the unused phases — drastically so for
+// the deterministic algorithm, whose budget constant is ~240000 phases.
+#include <iostream>
+
+#include "smst/graph/generators.h"
+#include "smst/mst/deterministic_mst.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/util/table.h"
+
+int main() {
+  std::cout << "== ablation: EarlyDetect termination vs the paper's fixed "
+               "phase budget ==\n\n";
+
+  {
+    std::cout << "-- Randomized-MST (budget = 4*ceil(log_{4/3} n) + 1)\n";
+    smst::Table t({"n", "mode", "phases (active)", "phase budget", "rounds",
+                   "awake", "same tree?"});
+    for (std::size_t n : {64u, 256u, 1024u}) {
+      smst::Xoshiro256 rng(n);
+      auto g = smst::MakeErdosRenyi(n, 8.0 / double(n), rng);
+      smst::MstOptions early;
+      early.seed = 3;
+      auto a = smst::RunRandomizedMst(g, early);
+      smst::MstOptions paper;
+      paper.seed = 3;
+      paper.termination = smst::TerminationMode::kPaperPhaseCount;
+      auto b = smst::RunRandomizedMst(g, paper);
+      const char* same = a.tree_edges == b.tree_edges ? "yes" : "NO";
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)), "early",
+                smst::Table::Num(a.phases), "-",
+                smst::Table::Num(a.stats.rounds),
+                smst::Table::Num(a.stats.max_awake), same});
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)), "paper",
+                smst::Table::Num(b.phases),
+                smst::Table::Num(smst::RandomizedPaperPhaseCount(n)),
+                smst::Table::Num(b.stats.rounds),
+                smst::Table::Num(b.stats.max_awake), same});
+    }
+    t.Print(std::cout);
+    std::cout << "(same tree, same awake complexity — the budget only adds "
+                 "empty rounds at the tail; EarlyDetect's DONE broadcast is "
+                 "free because it rides the existing Fragment-Broadcast)\n\n";
+  }
+
+  {
+    std::cout << "-- Deterministic-MST: why the paper budget is simulated "
+                 "only at toy sizes\n";
+    smst::Table t({"n", "mode", "phases (active)", "phase budget", "rounds",
+                   "awake"});
+    for (std::size_t n : {6u, 8u}) {
+      smst::Xoshiro256 rng(n);
+      auto g = smst::MakeRing(n, rng);
+      smst::MstOptions early;
+      early.seed = 1;
+      auto a = smst::RunDeterministicMst(g, early);
+      smst::MstOptions paper;
+      paper.seed = 1;
+      paper.termination = smst::TerminationMode::kPaperPhaseCount;
+      auto b = smst::RunDeterministicMst(g, paper);
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)), "early",
+                smst::Table::Num(a.phases), "-",
+                smst::Table::Num(a.stats.rounds),
+                smst::Table::Num(a.stats.max_awake)});
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)), "paper",
+                smst::Table::Num(b.phases),
+                smst::Table::Num(smst::DeterministicPaperPhaseCount(n)),
+                smst::Table::Num(b.stats.rounds),
+                smst::Table::Num(b.stats.max_awake)});
+    }
+    t.Print(std::cout);
+    std::cout << "(the ~10^6-phase worst-case budget blows the round count "
+                 "up by ~10^5x over the 3-4 phases actually needed, at zero "
+                 "awake cost — empty rounds are free in the sleeping model, "
+                 "but the wall-clock of a real deployment is not)\n";
+  }
+  return 0;
+}

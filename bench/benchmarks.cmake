@@ -1,0 +1,26 @@
+# Bench binaries. Included from the top-level CMakeLists (not
+# add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains only the
+# produced executables and `for b in build/bench/*; do $b; done` works.
+set(SMST_BENCHES
+  bench_table1_awake.cpp
+  bench_table1_runtime.cpp
+  bench_lb_awake_ring.cpp
+  bench_lb_product_grc.cpp
+  bench_grc_structure.cpp
+  bench_fragment_decay.cpp
+  bench_blue_fraction.cpp
+  bench_phase_cost.cpp
+  bench_coloring_ablation.cpp
+  bench_termination_ablation.cpp
+  bench_diameter_independence.cpp
+  bench_adaptive_blocks.cpp
+  bench_micro.cpp
+)
+
+foreach(src ${SMST_BENCHES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${src})
+  target_link_libraries(${name} PRIVATE smst::smst benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

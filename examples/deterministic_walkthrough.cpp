@@ -1,0 +1,51 @@
+// A traced walk through Algorithm Deterministic-MST (§2.3) on a small
+// network: per-phase fragment counts, Blue fragments (the ones that merge
+// away), and the final costs — the Appendix C story told by telemetry.
+//
+//   $ ./deterministic_walkthrough [n] [N] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/mst_verify.h"
+#include "smst/mst/deterministic_mst.h"
+#include "smst/util/table.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
+  const std::uint64_t N = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  smst::Xoshiro256 rng(seed);
+  smst::GeneratorOptions gopt;
+  gopt.max_id = N;
+  auto g = smst::MakeErdosRenyi(n, 3.0 / static_cast<double>(n), rng, gopt);
+  std::cout << "network: n=" << n << " nodes with IDs drawn from [1, N=" << N
+            << "], m=" << g.NumEdges() << " edges\n"
+            << "(the deterministic algorithm's run time scales with N: its\n"
+            << " Fast-Awake-Coloring sweeps one stage per possible ID)\n\n";
+
+  auto r = smst::RunDeterministicMst(g, {.seed = seed});
+  auto check = smst::VerifyExactMst(g, r.tree_edges);
+
+  smst::Table t({"phase", "fragments at start", "Blue (merge away)",
+                 "survivors <= "});
+  for (std::uint64_t p = 1; p <= r.phases; ++p) {
+    const auto frags = r.fragments_per_phase[p];
+    const auto blue = r.blue_per_phase[p];
+    t.AddRow({smst::Table::Num(p), smst::Table::Num(frags),
+              smst::Table::Num(blue),
+              smst::Table::Num(frags > blue ? frags - blue : 0)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nMST verified: " << (check.ok ? "OK" : check.error) << "\n"
+            << "awake complexity: " << r.stats.max_awake << " (O(log n))\n"
+            << "round complexity: " << r.stats.rounds << " (O(nN log n): each "
+            << "phase spends 5N+23 blocks of 2n+1 rounds)\n"
+            << "paper's worst-case phase budget for this n: "
+            << smst::DeterministicPaperPhaseCount(n)
+            << " phases - the measured " << r.phases
+            << " shows how loose that constant is in practice.\n";
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+#include "smst/apps/tree_ops.h"
+
+#include <stdexcept>
+
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/procedures.h"
+
+namespace smst {
+
+namespace {
+
+constexpr std::uint16_t kTagAppBroadcast = 150;
+
+struct Shared {
+  const std::vector<LdtState>* forest = nullptr;
+  const std::vector<TreeOpRequest>* requests = nullptr;
+  std::vector<TreeOpOutcome>* outcomes = nullptr;
+};
+
+Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
+  const LdtState& ldt = (*sh->forest)[ctx.Index()];
+  BlockCursor cursor(1, ctx.NumNodesKnown());
+  for (std::size_t i = 0; i < sh->requests->size(); ++i) {
+    const TreeOpRequest& req = (*sh->requests)[i];
+    TreeOpOutcome& out = (*sh->outcomes)[i];
+    switch (req.kind) {
+      case TreeOpRequest::Kind::kBroadcast: {
+        const Message got = co_await FragmentBroadcast(
+            ctx, ldt, cursor.TakeBlock(),
+            Message{kTagAppBroadcast, req.broadcast_value, 0, 0});
+        out.per_node[ctx.Index()] = got.a;
+        if (ldt.IsRoot()) out.root_value = got.a;
+        break;
+      }
+      case TreeOpRequest::Kind::kAggregateMin: {
+        const UpcastItem got =
+            co_await UpcastMin(ctx, ldt, cursor.TakeBlock(),
+                               UpcastItem{req.inputs[ctx.Index()], 0, 0});
+        out.per_node[ctx.Index()] = got.key;
+        if (ldt.IsRoot()) out.root_value = got.key;
+        break;
+      }
+      case TreeOpRequest::Kind::kAggregateSum: {
+        const UpcastSumResult got = co_await UpcastSum(
+            ctx, ldt, cursor.TakeBlock(), req.inputs[ctx.Index()]);
+        out.per_node[ctx.Index()] = got.subtree_total;
+        if (ldt.IsRoot()) out.root_value = got.subtree_total;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TreeOpsReport RunTreeOps(const WeightedGraph& g, const MstRunResult& result,
+                         const std::vector<TreeOpRequest>& requests,
+                         std::uint64_t seed) {
+  if (result.final_ldt.size() != g.NumNodes()) {
+    throw std::invalid_argument("result does not belong to this graph");
+  }
+  for (const LdtState& s : result.final_ldt) {
+    if (s.fragment_id != result.final_ldt.front().fragment_id) {
+      throw std::invalid_argument(
+          "TreeOps needs a single spanning tree (run did not converge)");
+    }
+  }
+  for (const TreeOpRequest& req : requests) {
+    if (req.kind != TreeOpRequest::Kind::kBroadcast &&
+        req.inputs.size() != g.NumNodes()) {
+      throw std::invalid_argument("aggregation inputs must cover every node");
+    }
+  }
+
+  TreeOpsReport report;
+  report.outcomes.resize(requests.size());
+  for (auto& out : report.outcomes) {
+    out.per_node.assign(g.NumNodes(), 0);
+  }
+  Shared sh{&result.final_ldt, &requests, &report.outcomes};
+  SimulatorOptions opt;
+  opt.seed = seed;
+  Simulator sim(g, opt);
+  sim.Run([&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); });
+  report.stats = sim.Stats();
+  return report;
+}
+
+}  // namespace smst

@@ -1,0 +1,54 @@
+// Using the tree after it is built.
+//
+// The paper's motivation (§1) is that an MST is a primitive for
+// energy-efficient broadcast and aggregation. The algorithms here don't
+// just output edges — every node ends with its LDT state (fragment root,
+// level, parent/children ports), and that state keeps paying rent: any
+// number of broadcasts, min-aggregations, and sum-aggregations can run
+// over the tree later at O(1) awake rounds and O(n) running time each,
+// with no rebuilding.
+//
+// TreeOps wraps a finished MstRunResult's forest (a single LDT after a
+// successful run) and executes batches of such operations in one
+// simulation, verifying results against the inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/mst/result.h"
+#include "smst/runtime/metrics.h"
+
+namespace smst {
+
+struct TreeOpRequest {
+  enum class Kind { kBroadcast, kAggregateMin, kAggregateSum };
+  Kind kind = Kind::kBroadcast;
+  // kBroadcast: the value the root disseminates (inputs elsewhere
+  // ignored). kAggregateMin/Sum: per-node inputs (size n).
+  std::uint64_t broadcast_value = 0;
+  std::vector<std::uint64_t> inputs;
+};
+
+struct TreeOpOutcome {
+  // kBroadcast: every node's received value (all equal on success).
+  // kAggregateMin/Sum: entry v = the aggregate over v's subtree; the
+  // root's entry is the tree-wide answer.
+  std::vector<std::uint64_t> per_node;
+  std::uint64_t root_value = 0;
+};
+
+struct TreeOpsReport {
+  std::vector<TreeOpOutcome> outcomes;  // one per request, in order
+  RunStats stats;                       // awake cost of the whole batch
+};
+
+// Runs `requests` back-to-back over the tree in `result` (which must
+// hold a single spanning LDT, i.e. a successful MST/ST run on `g`).
+// Throws std::invalid_argument on malformed inputs.
+TreeOpsReport RunTreeOps(const WeightedGraph& g, const MstRunResult& result,
+                         const std::vector<TreeOpRequest>& requests,
+                         std::uint64_t seed = 1);
+
+}  // namespace smst

@@ -1,0 +1,40 @@
+#include "smst/energy/energy.h"
+
+#include <algorithm>
+
+namespace smst {
+
+EnergyModel EnergyModel::SensorMote() { return {100.0, 0.1, 1.0}; }
+EnergyModel EnergyModel::WifiStation() { return {3000.0, 5.0, 30.0}; }
+EnergyModel EnergyModel::BleBeacon() { return {30.0, 0.03, 0.3}; }
+
+EnergyReport BillRun(const RunStats& stats,
+                     const std::vector<NodeMetrics>& per_node,
+                     const EnergyModel& model) {
+  EnergyReport report;
+  double awake_energy = 0.0;
+  for (const NodeMetrics& m : per_node) {
+    const double awake = static_cast<double>(m.awake_rounds);
+    const double asleep =
+        static_cast<double>(stats.rounds) - awake;  // rounds >= awake
+    const double node_awake_cost =
+        awake * model.awake_cost +
+        static_cast<double>(m.messages_sent) * model.tx_cost;
+    const double bill = node_awake_cost + asleep * model.sleep_cost;
+    awake_energy += node_awake_cost;
+    report.total += bill;
+    report.max_per_node = std::max(report.max_per_node, bill);
+  }
+  report.avg_per_node =
+      per_node.empty() ? 0.0 : report.total / static_cast<double>(per_node.size());
+  report.awake_share = report.total > 0.0 ? awake_energy / report.total : 0.0;
+  return report;
+}
+
+double RunsPerBattery(const EnergyReport& report, double battery_joules) {
+  if (report.max_per_node <= 0.0) return 0.0;
+  // Costs are in microjoule.
+  return battery_joules * 1e6 / report.max_per_node;
+}
+
+}  // namespace smst

@@ -1,0 +1,51 @@
+// Energy accounting for sleeping-model runs.
+//
+// The paper's motivation (§1): in battery-powered radio networks a node
+// pays for every round its radio is on — transmitting, receiving, or
+// just listening — while a sleeping round is orders of magnitude
+// cheaper. This module turns a run's metrics into energy figures under
+// a configurable cost model, the quantity the awake complexity is a
+// proxy for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/runtime/metrics.h"
+
+namespace smst {
+
+struct EnergyModel {
+  // Cost of one awake round (radio on, worst case: idle listening).
+  double awake_cost = 100.0;
+  // Cost of one sleeping round (deep sleep, timer only).
+  double sleep_cost = 0.1;
+  // Extra cost per message sent (TX surcharge on top of the awake round).
+  double tx_cost = 1.0;
+
+  // Typical figures (microjoule per ~10ms round) for three radio
+  // classes, for the examples and benches.
+  static EnergyModel SensorMote();   // 802.15.4-class: 100 / 0.1 / 1
+  static EnergyModel WifiStation();  // Wi-Fi PSM-class: 3000 / 5 / 30
+  static EnergyModel BleBeacon();    // BLE-class: 30 / 0.03 / 0.3
+};
+
+struct EnergyReport {
+  double total = 0.0;        // whole-network energy
+  double max_per_node = 0.0; // the battery that dies first
+  double avg_per_node = 0.0;
+  double awake_share = 0.0;  // fraction of total spent on awake rounds
+};
+
+// Bills a finished run: every node pays awake_cost per awake round,
+// sleep_cost per remaining round until the run's end, tx_cost per
+// message sent.
+EnergyReport BillRun(const RunStats& stats,
+                     const std::vector<NodeMetrics>& per_node,
+                     const EnergyModel& model);
+
+// Lifetime estimate: how many executions of this run a battery of
+// `battery_joules` at the worst-case node supports.
+double RunsPerBattery(const EnergyReport& report, double battery_joules);
+
+}  // namespace smst

@@ -1,0 +1,141 @@
+#include "smst/graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smst {
+
+NodeIndex WeightedGraph::IndexOfId(NodeId id) const {
+  for (NodeIndex v = 0; v < ids_.size(); ++v) {
+    if (ids_[v] == id) return v;
+  }
+  return kInvalidNode;
+}
+
+Weight WeightedGraph::TotalWeight(std::span<const EdgeIndex> edge_set) const {
+  Weight total = 0;
+  for (EdgeIndex e : edge_set) total += edges_[e].weight;
+  return total;
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("graph must be non-empty");
+}
+
+GraphBuilder& GraphBuilder::AddEdge(NodeIndex u, NodeIndex v, Weight w) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("self-loop not allowed");
+  edges_.push_back(Edge{u, v, w});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetIds(std::vector<NodeId> ids, NodeId max_id) {
+  if (ids.size() != num_nodes_) {
+    throw std::invalid_argument("ids size must equal node count");
+  }
+  ids_ = std::move(ids);
+  max_id_ = max_id;
+  return *this;
+}
+
+WeightedGraph GraphBuilder::Build() && {
+  WeightedGraph g;
+  g.edges_ = std::move(edges_);
+
+  // Distinct weights (required: makes the MST unique).
+  {
+    std::unordered_set<Weight> seen;
+    seen.reserve(g.edges_.size() * 2);
+    for (const Edge& e : g.edges_) {
+      if (!seen.insert(e.weight).second) {
+        throw std::invalid_argument("duplicate edge weight " +
+                                    std::to_string(e.weight));
+      }
+    }
+  }
+  // Simple graph: no parallel edges.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(g.edges_.size() * 2);
+    for (const Edge& e : g.edges_) {
+      const std::uint64_t lo = std::min(e.u, e.v);
+      const std::uint64_t hi = std::max(e.u, e.v);
+      if (!seen.insert((lo << 32) | hi).second) {
+        throw std::invalid_argument("parallel edge between " +
+                                    std::to_string(e.u) + " and " +
+                                    std::to_string(e.v));
+      }
+    }
+  }
+
+  // IDs: default 1..n; validate distinct and within [1, max_id].
+  if (ids_.empty()) {
+    ids_.resize(num_nodes_);
+    std::iota(ids_.begin(), ids_.end(), NodeId{1});
+    max_id_ = num_nodes_;
+  }
+  {
+    std::unordered_set<NodeId> seen;
+    seen.reserve(ids_.size() * 2);
+    for (NodeId id : ids_) {
+      if (id == 0 || id > max_id_) {
+        throw std::invalid_argument("node ID " + std::to_string(id) +
+                                    " outside [1, N]");
+      }
+      if (!seen.insert(id).second) {
+        throw std::invalid_argument("duplicate node ID " + std::to_string(id));
+      }
+    }
+  }
+  g.ids_ = std::move(ids_);
+  g.max_id_ = max_id_;
+
+  // Build CSR port tables in edge-insertion order.
+  g.port_offset_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.port_offset_[e.u + 1];
+    ++g.port_offset_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    g.port_offset_[v + 1] += g.port_offset_[v];
+  }
+  g.ports_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.port_offset_.begin(),
+                                  g.port_offset_.end() - 1);
+  for (EdgeIndex e = 0; e < g.edges_.size(); ++e) {
+    const Edge& edge = g.edges_[e];
+    g.ports_[cursor[edge.u]++] = Port{edge.v, e, edge.weight};
+    g.ports_[cursor[edge.v]++] = Port{edge.u, e, edge.weight};
+  }
+
+  // Connectivity (the model requires a connected network).
+  {
+    std::vector<bool> visited(num_nodes_, false);
+    std::vector<NodeIndex> stack{0};
+    visited[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      NodeIndex v = stack.back();
+      stack.pop_back();
+      for (const Port& p : g.PortsOf(v)) {
+        if (!visited[p.neighbor]) {
+          visited[p.neighbor] = true;
+          ++count;
+          stack.push_back(p.neighbor);
+        }
+      }
+    }
+    if (count != num_nodes_) {
+      throw std::invalid_argument("graph is not connected");
+    }
+  }
+  return g;
+}
+
+}  // namespace smst

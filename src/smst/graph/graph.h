@@ -1,0 +1,113 @@
+// Weighted undirected graph with CONGEST port numbering.
+//
+// This is the shared substrate: generators build it, the simulator hands
+// each node only its own ports (neighbor-blind, per the model), and the
+// sequential reference MSTs consume it whole.
+//
+// Conventions:
+//  * Nodes are dense indices 0..n-1 internally; each node additionally has
+//    a distinct *ID* in [1, N] (the value the distributed algorithms see;
+//    the deterministic algorithm's run time depends on N = max ID).
+//  * Edge weights are distinct uint64s (the paper assumes distinct
+//    weights so the MST is unique). The builder enforces this.
+//  * Each node's incident edges occupy ports 0..deg-1 in insertion order;
+//    a node addresses messages by port, never by neighbor index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace smst {
+
+using NodeIndex = std::uint32_t;
+using EdgeIndex = std::uint32_t;
+using NodeId = std::uint64_t;
+using Weight = std::uint64_t;
+
+inline constexpr NodeIndex kInvalidNode = static_cast<NodeIndex>(-1);
+inline constexpr EdgeIndex kInvalidEdge = static_cast<EdgeIndex>(-1);
+
+struct Edge {
+  NodeIndex u = kInvalidNode;
+  NodeIndex v = kInvalidNode;
+  Weight weight = 0;
+};
+
+// One entry of a node's port table.
+struct Port {
+  NodeIndex neighbor = kInvalidNode;
+  EdgeIndex edge = kInvalidEdge;
+  Weight weight = 0;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  std::size_t NumNodes() const { return ids_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  const Edge& GetEdge(EdgeIndex e) const { return edges_[e]; }
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  // The node's port table: incident edges in port order.
+  std::span<const Port> PortsOf(NodeIndex v) const {
+    return {ports_.data() + port_offset_[v],
+            port_offset_[v + 1] - port_offset_[v]};
+  }
+  std::size_t DegreeOf(NodeIndex v) const {
+    return port_offset_[v + 1] - port_offset_[v];
+  }
+
+  NodeId IdOf(NodeIndex v) const { return ids_[v]; }
+  NodeId MaxId() const { return max_id_; }
+
+  // Inverse of IdOf; kInvalidNode if no node has that ID.
+  NodeIndex IndexOfId(NodeId id) const;
+
+  // The endpoint of edge `e` that is not `v`. Precondition: v is an
+  // endpoint of e.
+  NodeIndex OtherEndpoint(EdgeIndex e, NodeIndex v) const {
+    const Edge& edge = edges_[e];
+    return edge.u == v ? edge.v : edge.u;
+  }
+
+  // Sum of weights over an edge set (used to compare MSTs by value).
+  Weight TotalWeight(std::span<const EdgeIndex> edge_set) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Edge> edges_;
+  std::vector<Port> ports_;                // CSR-packed port tables
+  std::vector<std::size_t> port_offset_;   // size n+1
+  std::vector<NodeId> ids_;                // node index -> ID
+  NodeId max_id_ = 0;                      // N (>= every ID)
+};
+
+// Builds a WeightedGraph and validates the model's preconditions:
+// simple (no loops / parallel edges), connected, distinct positive
+// weights, distinct IDs in [1, N]. Violations throw std::invalid_argument
+// with a message naming the offending edge/node.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  GraphBuilder& AddEdge(NodeIndex u, NodeIndex v, Weight w);
+
+  // Assigns node IDs (defaults to 1..n in index order if never called).
+  // `max_id` must be >= every ID; it becomes the algorithms' N.
+  GraphBuilder& SetIds(std::vector<NodeId> ids, NodeId max_id);
+
+  // Validates and produces the immutable graph. The builder is consumed.
+  WeightedGraph Build() &&;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<NodeId> ids_;
+  NodeId max_id_ = 0;
+};
+
+}  // namespace smst

@@ -1,0 +1,115 @@
+#include "smst/graph/io.h"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smst {
+
+namespace {
+
+[[noreturn]] void Fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("edge list line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+WeightedGraph ReadEdgeList(std::istream& in) {
+  std::optional<GraphBuilder> builder;
+  std::size_t n = 0;
+  NodeId max_id = 0;
+  std::vector<NodeId> ids;
+  bool has_ids = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank / comment-only
+
+    if (first == "n") {
+      if (builder.has_value()) Fail(line_no, "duplicate 'n' header");
+      if (!(ls >> n) || n == 0) Fail(line_no, "bad node count");
+      if (!(ls >> max_id)) max_id = n;
+      if (max_id < n) Fail(line_no, "max-id below node count");
+      builder.emplace(n);
+      ids.assign(n, 0);
+      continue;
+    }
+    if (!builder.has_value()) Fail(line_no, "edges before the 'n' header");
+    if (first == "id") {
+      NodeIndex v;
+      NodeId id;
+      if (!(ls >> v >> id) || v >= n) Fail(line_no, "bad id line");
+      ids[v] = id;
+      has_ids = true;
+      continue;
+    }
+    // Edge line: u v w.
+    NodeIndex u, v;
+    Weight w;
+    std::istringstream es(line);
+    if (!(es >> u >> v >> w)) Fail(line_no, "expected 'u v weight'");
+    try {
+      builder->AddEdge(u, v, w);
+    } catch (const std::invalid_argument& e) {
+      Fail(line_no, e.what());
+    }
+  }
+  if (!builder.has_value()) throw std::invalid_argument("empty edge list");
+  if (has_ids) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (ids[v] == 0) {
+        throw std::invalid_argument("node " + std::to_string(v) +
+                                    " has no 'id' line");
+      }
+    }
+    builder->SetIds(std::move(ids), max_id);
+  }
+  return std::move(*builder).Build();
+}
+
+WeightedGraph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const WeightedGraph& g, std::ostream& out) {
+  out << "# sleeping-mst edge list\n";
+  out << "n " << g.NumNodes() << " " << g.MaxId() << "\n";
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    out << "id " << v << " " << g.IdOf(v) << "\n";
+  }
+  for (const Edge& e : g.Edges()) {
+    out << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+}
+
+void WriteDot(const WeightedGraph& g, const std::vector<EdgeIndex>& tree_edges,
+              std::ostream& out) {
+  std::vector<bool> in_tree(g.NumEdges(), false);
+  for (EdgeIndex e : tree_edges) in_tree[e] = true;
+  out << "graph smst {\n  node [shape=circle fontsize=10];\n";
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    out << "  " << v << " [label=\"" << v << " (" << g.IdOf(v) << ")\"];\n";
+  }
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    const Edge& edge = g.GetEdge(e);
+    out << "  " << edge.u << " -- " << edge.v << " [label=\"" << edge.weight
+        << "\"";
+    if (in_tree[e]) out << " penwidth=2.5 color=\"#2166ac\"";
+    else out << " color=\"#bbbbbb\"";
+    out << "];\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace smst

@@ -1,0 +1,33 @@
+// Graph serialization: a plain edge-list text format for loading user
+// networks (CLI `--input`), and Graphviz DOT export with optional MST
+// highlighting for inspection.
+//
+// Edge-list format (whitespace-separated, '#' comments):
+//   n <node-count> [<max-id>]
+//   [id <node-index> <node-id>]...      (optional; default IDs 1..n)
+//   <u> <v> <weight>                    (one line per edge, 0-based)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smst/graph/graph.h"
+
+namespace smst {
+
+// Parses the edge-list format; throws std::invalid_argument with a line
+// number on malformed input (and propagates GraphBuilder's validation:
+// distinct weights, connectivity, ...).
+WeightedGraph ReadEdgeList(std::istream& in);
+WeightedGraph ReadEdgeListFile(const std::string& path);
+
+// Writes a graph in the same format (round-trips through ReadEdgeList).
+void WriteEdgeList(const WeightedGraph& g, std::ostream& out);
+
+// Graphviz DOT. Tree edges (if provided) are drawn bold/colored; node
+// labels show "index (id)".
+void WriteDot(const WeightedGraph& g, const std::vector<EdgeIndex>& tree_edges,
+              std::ostream& out);
+
+}  // namespace smst

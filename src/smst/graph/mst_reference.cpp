@@ -1,0 +1,103 @@
+#include "smst/graph/mst_reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "smst/graph/union_find.h"
+
+namespace smst {
+
+std::vector<EdgeIndex> KruskalMst(const WeightedGraph& g) {
+  std::vector<EdgeIndex> order(g.NumEdges());
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeIndex a, EdgeIndex b) {
+    return g.GetEdge(a).weight < g.GetEdge(b).weight;
+  });
+  UnionFind uf(g.NumNodes());
+  std::vector<EdgeIndex> mst;
+  mst.reserve(g.NumNodes() - 1);
+  for (EdgeIndex e : order) {
+    const Edge& edge = g.GetEdge(e);
+    if (uf.Union(edge.u, edge.v)) {
+      mst.push_back(e);
+      if (mst.size() == g.NumNodes() - 1) break;
+    }
+  }
+  std::sort(mst.begin(), mst.end());
+  return mst;
+}
+
+std::vector<EdgeIndex> PrimMst(const WeightedGraph& g) {
+  // Lazy Prim with a min-heap of (weight, edge, far endpoint).
+  struct Item {
+    Weight w;
+    EdgeIndex e;
+    NodeIndex to;
+    bool operator>(const Item& o) const { return w > o.w; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<bool> in_tree(g.NumNodes(), false);
+  auto add = [&](NodeIndex v) {
+    in_tree[v] = true;
+    for (const Port& p : g.PortsOf(v)) {
+      if (!in_tree[p.neighbor]) heap.push({p.weight, p.edge, p.neighbor});
+    }
+  };
+  add(0);
+  std::vector<EdgeIndex> mst;
+  mst.reserve(g.NumNodes() - 1);
+  while (mst.size() + 1 < g.NumNodes() && !heap.empty()) {
+    Item item = heap.top();
+    heap.pop();
+    if (in_tree[item.to]) continue;
+    mst.push_back(item.e);
+    add(item.to);
+  }
+  std::sort(mst.begin(), mst.end());
+  return mst;
+}
+
+std::vector<EdgeIndex> BoruvkaMst(const WeightedGraph& g) {
+  UnionFind uf(g.NumNodes());
+  std::vector<EdgeIndex> mst;
+  mst.reserve(g.NumNodes() - 1);
+  while (uf.NumSets() > 1) {
+    // Minimum outgoing edge per component, found in one edge scan.
+    std::vector<EdgeIndex> best(g.NumNodes(), kInvalidEdge);
+    for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+      const Edge& edge = g.GetEdge(e);
+      const std::size_t cu = uf.Find(edge.u);
+      const std::size_t cv = uf.Find(edge.v);
+      if (cu == cv) continue;
+      for (std::size_t c : {cu, cv}) {
+        if (best[c] == kInvalidEdge ||
+            edge.weight < g.GetEdge(best[c]).weight) {
+          best[c] = e;
+        }
+      }
+    }
+    bool merged_any = false;
+    for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+      const EdgeIndex e = best[v];
+      if (e == kInvalidEdge) continue;
+      const Edge& edge = g.GetEdge(e);
+      if (uf.Union(edge.u, edge.v)) {
+        mst.push_back(e);
+        merged_any = true;
+      }
+    }
+    if (!merged_any) break;  // unreachable with distinct weights
+  }
+  std::sort(mst.begin(), mst.end());
+  return mst;
+}
+
+std::vector<bool> EdgeMask(const WeightedGraph& g,
+                           const std::vector<EdgeIndex>& edges) {
+  std::vector<bool> mask(g.NumEdges(), false);
+  for (EdgeIndex e : edges) mask[e] = true;
+  return mask;
+}
+
+}  // namespace smst

@@ -1,0 +1,23 @@
+// Sequential reference MST algorithms.
+//
+// With distinct weights the MST is unique, so these give ground truth the
+// distributed algorithms are compared against edge-for-edge. Three
+// classics are provided; agreement among them is itself a test.
+#pragma once
+
+#include <vector>
+
+#include "smst/graph/graph.h"
+
+namespace smst {
+
+// Each returns the MST as sorted edge indices (size n-1).
+std::vector<EdgeIndex> KruskalMst(const WeightedGraph& g);
+std::vector<EdgeIndex> PrimMst(const WeightedGraph& g);
+std::vector<EdgeIndex> BoruvkaMst(const WeightedGraph& g);
+
+// Edge-index set -> boolean mask over edges.
+std::vector<bool> EdgeMask(const WeightedGraph& g,
+                           const std::vector<EdgeIndex>& edges);
+
+}  // namespace smst

@@ -1,0 +1,76 @@
+#include "smst/graph/mst_verify.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "smst/graph/mst_reference.h"
+#include "smst/graph/properties.h"
+
+namespace smst {
+
+MstCheck VerifyExactMst(const WeightedGraph& g,
+                        const std::vector<EdgeIndex>& candidate) {
+  if (candidate.size() != g.NumNodes() - 1) {
+    return {false, "expected " + std::to_string(g.NumNodes() - 1) +
+                       " edges, got " + std::to_string(candidate.size())};
+  }
+  if (!IsSpanningTree(g, EdgeMask(g, candidate))) {
+    return {false, "candidate is not a spanning tree"};
+  }
+  const auto truth = KruskalMst(g);
+  if (candidate != truth) {
+    // Find one differing edge for the message.
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (i >= candidate.size() || candidate[i] != truth[i]) {
+        return {false, "edge set differs from the unique MST (first "
+                       "mismatch at sorted position " +
+                           std::to_string(i) + ")"};
+      }
+    }
+    return {false, "edge set differs from the unique MST"};
+  }
+  return {true, ""};
+}
+
+MstCheck CertifyMstByCycleProperty(const WeightedGraph& g,
+                                   const std::vector<EdgeIndex>& candidate) {
+  const auto mask = EdgeMask(g, candidate);
+  if (!IsSpanningTree(g, mask)) {
+    return {false, "candidate is not a spanning tree"};
+  }
+  // Tree adjacency for path queries.
+  std::vector<std::vector<Port>> tree(g.NumNodes());
+  for (EdgeIndex e : candidate) {
+    const Edge& edge = g.GetEdge(e);
+    tree[edge.u].push_back({edge.v, e, edge.weight});
+    tree[edge.v].push_back({edge.u, e, edge.weight});
+  }
+  // For each non-tree edge (u,v): max tree-path weight u->v must be < w.
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    if (mask[e]) continue;
+    const Edge& nt = g.GetEdge(e);
+    // BFS from u to v tracking the max edge weight along the tree path.
+    std::vector<Weight> max_w(g.NumNodes(), 0);
+    std::vector<bool> seen(g.NumNodes(), false);
+    std::queue<NodeIndex> q;
+    seen[nt.u] = true;
+    q.push(nt.u);
+    while (!q.empty() && !seen[nt.v]) {
+      NodeIndex x = q.front();
+      q.pop();
+      for (const Port& p : tree[x]) {
+        if (seen[p.neighbor]) continue;
+        seen[p.neighbor] = true;
+        max_w[p.neighbor] = std::max(max_w[x], p.weight);
+        q.push(p.neighbor);
+      }
+    }
+    if (max_w[nt.v] > nt.weight) {
+      return {false, "cycle property violated by non-tree edge " +
+                         std::to_string(e)};
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace smst

@@ -1,0 +1,27 @@
+// MST verification helpers shared by tests and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smst/graph/graph.h"
+
+namespace smst {
+
+struct MstCheck {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+// Verifies that `candidate` (sorted edge indices) is exactly the unique
+// MST of g: spanning tree + edge-for-edge equality against Kruskal.
+MstCheck VerifyExactMst(const WeightedGraph& g,
+                        const std::vector<EdgeIndex>& candidate);
+
+// Independent certification without a reference run: spanning tree + the
+// cycle property (every non-tree edge is the heaviest on the cycle it
+// closes). With distinct weights this characterizes the MST.
+MstCheck CertifyMstByCycleProperty(const WeightedGraph& g,
+                                   const std::vector<EdgeIndex>& candidate);
+
+}  // namespace smst

@@ -1,0 +1,63 @@
+#include "smst/graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "smst/graph/union_find.h"
+
+namespace smst {
+
+std::vector<std::uint32_t> BfsDistances(const WeightedGraph& g,
+                                        NodeIndex source) {
+  constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> dist(g.NumNodes(), kUnreached);
+  std::queue<NodeIndex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeIndex v = frontier.front();
+    frontier.pop();
+    for (const Port& p : g.PortsOf(v)) {
+      if (dist[p.neighbor] == kUnreached) {
+        dist[p.neighbor] = dist[v] + 1;
+        frontier.push(p.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Eccentricity(const WeightedGraph& g, NodeIndex source) {
+  auto dist = BfsDistances(g, source);
+  return *std::max_element(dist.begin(), dist.end());
+}
+
+std::uint32_t ExactDiameter(const WeightedGraph& g) {
+  std::uint32_t best = 0;
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    best = std::max(best, Eccentricity(g, v));
+  }
+  return best;
+}
+
+std::uint32_t DoubleSweepDiameterLowerBound(const WeightedGraph& g) {
+  auto d0 = BfsDistances(g, 0);
+  NodeIndex far = static_cast<NodeIndex>(
+      std::max_element(d0.begin(), d0.end()) - d0.begin());
+  return Eccentricity(g, far);
+}
+
+bool IsSpanningTree(const WeightedGraph& g,
+                    const std::vector<bool>& edge_set) {
+  std::size_t count = 0;
+  UnionFind uf(g.NumNodes());
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    if (!edge_set[e]) continue;
+    ++count;
+    const Edge& edge = g.GetEdge(e);
+    if (!uf.Union(edge.u, edge.v)) return false;  // cycle
+  }
+  return count == g.NumNodes() - 1 && uf.NumSets() == 1;
+}
+
+}  // namespace smst

@@ -1,0 +1,30 @@
+// Structural graph queries used by tests and the lower-bound experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/graph/graph.h"
+
+namespace smst {
+
+// Hop distances from `source` to every node (unweighted BFS).
+std::vector<std::uint32_t> BfsDistances(const WeightedGraph& g,
+                                        NodeIndex source);
+
+// Largest hop distance from `source` (its eccentricity).
+std::uint32_t Eccentricity(const WeightedGraph& g, NodeIndex source);
+
+// Exact hop diameter: max eccentricity over all nodes. O(n·m); intended
+// for test/bench sizes. Observation 1 of the paper is checked with this.
+std::uint32_t ExactDiameter(const WeightedGraph& g);
+
+// Double-sweep lower bound on the diameter; cheap (2 BFS) and exact on
+// trees. Used when n is too large for ExactDiameter.
+std::uint32_t DoubleSweepDiameterLowerBound(const WeightedGraph& g);
+
+// True iff `edge_set` (as a boolean mask over edges) forms a spanning tree
+// of g: n-1 edges, acyclic, connects every node.
+bool IsSpanningTree(const WeightedGraph& g, const std::vector<bool>& edge_set);
+
+}  // namespace smst

@@ -1,0 +1,48 @@
+// Disjoint-set forest with union by size and path halving. Used by the
+// sequential reference MSTs and the verifiers.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace smst {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  // Merges the sets of a and b; returns false iff already joined.
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --sets_;
+    return true;
+  }
+
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+  std::size_t NumSets() const { return sets_; }
+  std::size_t SizeOf(std::size_t v) { return size_[Find(v)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace smst

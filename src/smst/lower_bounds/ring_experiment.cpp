@@ -1,0 +1,120 @@
+#include "smst/lower_bounds/ring_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace smst {
+
+std::size_t TwoHeaviestEdgeSeparation(const WeightedGraph& g) {
+  const std::size_t n = g.NumNodes();
+  if (g.NumEdges() != n) throw std::invalid_argument("not a ring");
+  // MakeRing adds edge i = (i, i+1 mod n), so edge positions are indices.
+  EdgeIndex first = 0, second = 1;
+  if (g.GetEdge(second).weight > g.GetEdge(first).weight) std::swap(first, second);
+  for (EdgeIndex e = 2; e < g.NumEdges(); ++e) {
+    if (g.GetEdge(e).weight > g.GetEdge(first).weight) {
+      second = first;
+      first = e;
+    } else if (g.GetEdge(e).weight > g.GetEdge(second).weight) {
+      second = e;
+    }
+  }
+  const std::size_t d =
+      first > second ? first - second : second - first;
+  return std::min(d, n - d);
+}
+
+double RingAwakeFloor(std::size_t n) {
+  // Lemma 11 iterates a up to log_13(n); Theorem 3 turns that into an
+  // Omega(log n) awake floor. The constant-free concrete floor:
+  return std::log(static_cast<double>(n)) / std::log(13.0);
+}
+
+std::vector<ArcKnowledge> ReplayRingKnowledge(
+    std::size_t n, const std::vector<std::vector<std::uint64_t>>& wake_times,
+    std::size_t awake_budget) {
+  if (wake_times.size() != n) {
+    throw std::invalid_argument("wake_times must cover every ring node");
+  }
+  // round -> nodes awake in it.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> by_round;
+  std::vector<std::size_t> wakes_seen(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint64_t t : wake_times[v]) by_round[t].push_back(v);
+  }
+
+  std::vector<ArcKnowledge> now(n);           // evolving knowledge
+  std::vector<ArcKnowledge> at_budget(n);     // snapshot at the a-th wake
+  std::vector<bool> snapped(n, awake_budget == 0 ? false : false);
+
+  auto cap = [&](std::uint64_t v) { return std::min<std::uint64_t>(v, n); };
+
+  for (auto& [round, nodes] : by_round) {
+    (void)round;
+    std::sort(nodes.begin(), nodes.end());
+    // Simultaneous exchange: read pre-round state, then apply.
+    std::vector<std::pair<std::uint32_t, ArcKnowledge>> updates;
+    auto awake = [&](std::uint32_t v) {
+      return std::binary_search(nodes.begin(), nodes.end(), v);
+    };
+    for (std::uint32_t v : nodes) {
+      ArcKnowledge k = now[v];
+      const std::uint32_t up = static_cast<std::uint32_t>((v + n - 1) % n);
+      const std::uint32_t down = static_cast<std::uint32_t>((v + 1) % n);
+      if (awake(up)) {
+        k.left = cap(std::max(k.left, now[up].left + 1));
+        k.right = cap(std::max<std::uint64_t>(
+            k.right, now[up].right > 0 ? now[up].right - 1 : 0));
+      }
+      if (awake(down)) {
+        k.right = cap(std::max(k.right, now[down].right + 1));
+        k.left = cap(std::max<std::uint64_t>(
+            k.left, now[down].left > 0 ? now[down].left - 1 : 0));
+      }
+      updates.emplace_back(v, k);
+    }
+    for (auto& [v, k] : updates) now[v] = k;
+    for (std::uint32_t v : nodes) {
+      ++wakes_seen[v];
+      if (awake_budget != 0 && wakes_seen[v] == awake_budget) {
+        at_budget[v] = now[v];
+        snapped[v] = true;
+      }
+    }
+  }
+  if (awake_budget == 0) return now;
+  // Nodes with fewer wakes than the budget keep their final knowledge.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!snapped[v]) at_budget[v] = now[v];
+  }
+  return at_budget;
+}
+
+double SegmentIsolationFraction(
+    std::size_t n, const std::vector<std::vector<std::uint64_t>>& wake_times,
+    std::size_t a) {
+  // a = 0: segments have length 1 and "knowledge after the 0th awake
+  // round" is empty, so every segment trivially has an isolated vertex.
+  if (a == 0) return 1.0;
+  std::size_t seg_len = 1;
+  for (std::size_t i = 0; i < a; ++i) seg_len *= 13;
+  if (seg_len > n) return 0.0;
+  const auto knowledge = ReplayRingKnowledge(n, wake_times, a);
+  const std::size_t segments = n / seg_len;
+  std::size_t isolated = 0;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t lo = s * seg_len;
+    const std::size_t hi = lo + seg_len - 1;  // inclusive
+    bool found = false;
+    for (std::size_t v = lo; v <= hi && !found; ++v) {
+      // Arc [v - left, v + right] within [lo, hi] (no wrap).
+      found = knowledge[v].left <= v - lo && knowledge[v].right <= hi - v;
+    }
+    isolated += found ? 1 : 0;
+  }
+  return static_cast<double>(isolated) / static_cast<double>(segments);
+}
+
+}  // namespace smst

@@ -1,0 +1,55 @@
+// The Theorem-3 ring experiment (unconditional Omega(log n) awake lower
+// bound) — constructive artifacts:
+//
+//  * the witness family: rings with uniform random weights, where the two
+//    heaviest edges are Omega(n) apart with constant probability and any
+//    MST algorithm must carry a comparison between them across one of the
+//    two arcs;
+//  * the information-propagation analysis behind Lemma 11: from a run's
+//    recorded wake times we replay which nodes could possibly have heard
+//    from which others (one hop per simultaneously-awake adjacent pair),
+//    and measure, per segment length 13^a, how often a segment still
+//    contains a vertex that after its a-th awake round has heard nothing
+//    from outside the segment — the event U(I, a) whose probability the
+//    proof bounds below by 1/2 for *every* algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/graph/graph.h"
+
+namespace smst {
+
+// Hop distance around the ring between the two heaviest edges. `g` must
+// be a ring built by MakeRing (node i adjacent to i+1 mod n).
+std::size_t TwoHeaviestEdgeSeparation(const WeightedGraph& g);
+
+// The floor Theorem 3 implies: any constant-success MST algorithm on an
+// n-ring has awake complexity at least ~log_13(n) (the proof's constant).
+double RingAwakeFloor(std::size_t n);
+
+// Knowledge replay on a ring: knowledge[v] after the run is the maximal
+// contiguous arc [v-left, v+right] that information could have reached v
+// from, given the per-node wake times (messages travel one hop per round
+// and only between simultaneously awake neighbors). Returns per node the
+// pair (left, right) of arc extents, computed after `awake_budget` wakes
+// of each node (the proof tracks knowledge after a node's a-th wake;
+// pass 0 for "after the full run").
+struct ArcKnowledge {
+  std::uint64_t left = 0;   // hops of upstream knowledge
+  std::uint64_t right = 0;  // hops of downstream knowledge
+};
+std::vector<ArcKnowledge> ReplayRingKnowledge(
+    std::size_t n, const std::vector<std::vector<std::uint64_t>>& wake_times,
+    std::size_t awake_budget);
+
+// Lemma-11 statistic: the fraction of disjoint segments of length 13^a
+// that contain a vertex whose knowledge after its a-th awake round is
+// contained in the segment. The proof shows this is >= 1/2 for every
+// algorithm; measuring it for ours shows the mechanism concretely.
+double SegmentIsolationFraction(
+    std::size_t n, const std::vector<std::vector<std::uint64_t>>& wake_times,
+    std::size_t a);
+
+}  // namespace smst

@@ -1,0 +1,82 @@
+#include "smst/lower_bounds/set_disjointness.h"
+
+#include <stdexcept>
+
+#include "smst/graph/union_find.h"
+
+namespace smst {
+
+bool SdInstance::Disjoint() const {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] && y[i]) return false;
+  }
+  return true;
+}
+
+SdInstance RandomSdInstance(std::size_t k, Xoshiro256& rng,
+                            bool force_intersecting) {
+  SdInstance sd;
+  sd.x.resize(k);
+  sd.y.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sd.x[i] = rng.NextCoin();
+    sd.y[i] = rng.NextCoin();
+  }
+  if (force_intersecting && k > 0) {
+    const std::size_t i = rng.NextBelow(k);
+    sd.x[i] = sd.y[i] = true;
+  }
+  return sd;
+}
+
+CssEncoding EncodeCssAsMstWeights(const GrcInstance& grc, const SdInstance& sd,
+                                  Xoshiro256& rng) {
+  const WeightedGraph& g = grc.graph;
+  if (sd.x.size() != grc.rows - 1 || sd.y.size() != grc.rows - 1) {
+    throw std::invalid_argument("SD instance must have rows-1 bits");
+  }
+  CssEncoding enc;
+  enc.marked.assign(g.NumEdges(), false);
+  for (EdgeIndex e : grc.backbone_edges) enc.marked[e] = true;
+  for (std::size_t i = 0; i < grc.rows - 1; ++i) {
+    if (!sd.x[i]) enc.marked[grc.alice_row_edges[i]] = true;
+    if (!sd.y[i]) enc.marked[grc.bob_row_edges[i]] = true;
+  }
+  for (bool m : enc.marked) enc.marked_count += m ? 1 : 0;
+
+  // Same topology (same edge order => same edge indices), new weights:
+  // marked edges draw from [1, 8m], unmarked from [8m+1, 16m].
+  const std::uint64_t m = g.NumEdges();
+  auto light = SampleDistinct(1, 8 * m, enc.marked_count, rng);
+  auto heavy = SampleDistinct(8 * m + 1, 16 * m,
+                              g.NumEdges() - enc.marked_count, rng);
+  Shuffle(light, rng);
+  Shuffle(heavy, rng);
+  GraphBuilder b(g.NumNodes());
+  std::size_t li = 0, hi = 0;
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    const Edge& edge = g.GetEdge(e);
+    b.AddEdge(edge.u, edge.v, enc.marked[e] ? light[li++] : heavy[hi++]);
+  }
+  enc.graph = std::move(b).Build();
+  return enc;
+}
+
+bool MarkedSubgraphSpans(const WeightedGraph& g,
+                         const std::vector<bool>& marked) {
+  UnionFind uf(g.NumNodes());
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    if (marked[e]) uf.Union(g.GetEdge(e).u, g.GetEdge(e).v);
+  }
+  return uf.NumSets() == 1;
+}
+
+bool SdAnswerFromMst(const CssEncoding& enc,
+                     const std::vector<EdgeIndex>& mst_edges) {
+  for (EdgeIndex e : mst_edges) {
+    if (!enc.marked[e]) return false;  // expensive edge used: intersecting
+  }
+  return true;
+}
+
+}  // namespace smst

@@ -1,0 +1,55 @@
+// Set-disjointness instances and the paper's SD -> DSD -> CSS -> MST
+// encoding chain (§3.2).
+//
+// Alice holds x, Bob holds y (k bits each; k = r-1 here, one bit per row
+// other than row 1). The CSS marking: all row paths and tree edges are
+// marked; Alice's (resp. Bob's) attachment to row ell is marked iff
+// x_ell = 0 (resp. y_ell = 0). The marked subgraph is a connected
+// spanning subgraph of G_rc iff x and y are disjoint. The MST encoding
+// gives every marked edge a smaller weight than every unmarked edge, so
+// the MST uses an unmarked ("expensive") edge iff the sets intersect —
+// solving MST solves SD, which costs Omega(k) bits across the cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/lower_bounds/grc.h"
+#include "smst/util/prng.h"
+
+namespace smst {
+
+struct SdInstance {
+  std::vector<bool> x;
+  std::vector<bool> y;
+
+  // True iff there is no position where both bits are 1.
+  bool Disjoint() const;
+};
+
+// Random instance; `force_intersecting` plants one common 1.
+SdInstance RandomSdInstance(std::size_t k, Xoshiro256& rng,
+                            bool force_intersecting);
+
+struct CssEncoding {
+  WeightedGraph graph;          // G_rc topology, weights encode the marking
+  std::vector<bool> marked;     // per edge
+  std::size_t marked_count = 0;
+};
+
+// Rebuilds the G_rc graph with marked edges strictly lighter than every
+// unmarked edge (distinct weights throughout). The SD instance must have
+// k == rows-1 bits.
+CssEncoding EncodeCssAsMstWeights(const GrcInstance& grc, const SdInstance& sd,
+                                  Xoshiro256& rng);
+
+// Ground truth for the reduction: does the marked subgraph span G_rc?
+bool MarkedSubgraphSpans(const WeightedGraph& g, const std::vector<bool>& marked);
+
+// The reduction's readout: given an MST edge set for the encoded graph,
+// "sets are disjoint" iff no unmarked edge is in the MST.
+bool SdAnswerFromMst(const CssEncoding& enc,
+                     const std::vector<EdgeIndex>& mst_edges);
+
+}  // namespace smst

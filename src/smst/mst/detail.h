@@ -1,0 +1,40 @@
+// Internals shared by the GHS-style sleeping algorithms (Randomized-MST
+// and the Barenboim-Maimon-style spanning tree, which is the same engine
+// with a different edge-selection rule). Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/mst/options.h"
+#include "smst/mst/result.h"
+#include "smst/runtime/node.h"
+#include "smst/sleeping/ldt.h"
+#include "smst/sleeping/procedures.h"
+
+namespace smst::detail {
+
+enum class SelectionRule {
+  kMinWeight,      // choose the minimum-weight outgoing edge -> MST
+  kMinNeighborId,  // choose any outgoing edge (min neighbor fragment ID,
+                   // weight tie-break) -> arbitrary spanning tree
+};
+
+// Runs the coin-flip GHS engine with the given selection rule.
+MstRunResult RunGhsStyle(const WeightedGraph& g, const MstOptions& options,
+                         SelectionRule rule);
+
+// This node's best outgoing-edge candidate under `rule` (absent if every
+// neighbor is in the same fragment). The item's `b` field always carries
+// the edge weight, which identifies the edge globally.
+UpcastItem LocalMoe(const NodeContext& ctx, const LdtState& ldt,
+                    const std::vector<NodeId>& nbr_frag, SelectionRule rule);
+
+// The port of this node's outgoing edge with the given weight, or kNoPort
+// if the fragment's chosen edge is not incident here.
+std::uint32_t PortOfOutgoingWeight(const NodeContext& ctx, const LdtState& ldt,
+                                   const std::vector<NodeId>& nbr_frag,
+                                   Weight weight);
+
+}  // namespace smst::detail

@@ -1,0 +1,358 @@
+#include "smst/mst/deterministic_mst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "smst/mst/detail.h"
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/coloring.h"
+#include "smst/sleeping/merging.h"
+#include "smst/sleeping/procedures.h"
+
+namespace smst {
+
+namespace {
+
+constexpr std::uint16_t kTagFragId = 110;
+constexpr std::uint16_t kTagPhaseCtl = 111;     // a=MOE weight, b=done
+constexpr std::uint16_t kTagMoeAnnounce = 112;  // a=our fragment's MOE weight
+constexpr std::uint16_t kTagAllot = 113;        // a=token count for subtree
+constexpr std::uint16_t kTagVerdict = 114;      // a=weight, b=selected?
+constexpr std::uint16_t kTagValidity = 115;     // a=0 valid/1 invalid, b=target
+constexpr std::uint16_t kTagNbrInfo = 116;      // a=weight, b=frag, c=outgoing
+
+struct Shared {
+  const WeightedGraph* g = nullptr;
+  TerminationMode termination = TerminationMode::kEarlyDetect;
+  ColoringVariant coloring = ColoringVariant::kFastAwake;
+  std::uint64_t phase_cap = 0;
+  bool record_snapshots = false;
+  std::vector<std::vector<bool>> port_marks;
+  std::vector<LdtState> final_ldt;
+  std::vector<std::uint64_t> phases_done;
+  std::vector<std::vector<LdtState>> snapshots;
+
+  void Snapshot(std::uint64_t phase, NodeIndex v, const LdtState& ldt) {
+    if (!record_snapshots) return;
+    if (snapshots.size() < phase) {
+      snapshots.resize(phase, std::vector<LdtState>(g->NumNodes()));
+    }
+    snapshots[phase - 1][v] = ldt;
+  }
+};
+
+// A valid-MOE edge incident to this node.
+struct LocalEntry {
+  Weight weight = 0;
+  NodeId frag = 0;
+  bool outgoing = false;
+  std::uint32_t port = kNoPort;
+};
+
+Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
+  const std::size_t n = ctx.NumNodesKnown();
+  const NodeId N = ctx.MaxIdKnown();
+  LdtState ldt = LdtState::Singleton(ctx.Id());
+  std::vector<bool>& mark = sh->port_marks[ctx.Index()];
+  std::vector<NodeId> nbr_frag(ctx.Degree(), 0);
+  BlockCursor cursor(1, n);
+
+  const bool log_star = sh->coloring == ColoringVariant::kLogStar;
+  const std::uint64_t coloring_blocks =
+      log_star ? LogStarColoringBlocks(n, N) : kColoringBlocksPerStage * N;
+  const std::uint64_t blocks_per_phase =
+      kDeterministicFixedBlocksPerPhase + coloring_blocks;
+
+  bool finished = false;
+  std::uint64_t last_active_phase = 0;
+  for (std::uint64_t phase = 1; phase <= sh->phase_cap; ++phase) {
+    if (finished) {
+      cursor.SkipBlocks(blocks_per_phase);
+      continue;
+    }
+    last_active_phase = phase;
+    if (ldt.IsRoot()) ctx.Probe(kProbeFragmentsAtPhase, phase);
+
+    // ---- step (i): find the fragment MOE -----------------------------
+    // B1: learn adjacent fragment IDs.
+    {
+      auto inbox = co_await TransmitAdjacent(
+          ctx, ldt, cursor.TakeBlock(),
+          ToAllPorts(ctx, Message{kTagFragId, ldt.fragment_id, 0, 0}));
+      for (const InMessage& m : inbox) {
+        if (m.msg.type == kTagFragId) nbr_frag[m.port] = m.msg.a;
+      }
+    }
+
+    // B2 + B3: MOE to the root and (MOE weight, DONE) back down.
+    const UpcastItem local_moe =
+        detail::LocalMoe(ctx, ldt, nbr_frag, detail::SelectionRule::kMinWeight);
+    const UpcastItem frag_moe =
+        co_await UpcastMin(ctx, ldt, cursor.TakeBlock(), local_moe);
+    Message ctl_msg{};
+    if (ldt.IsRoot()) {
+      ctl_msg = Message{kTagPhaseCtl, frag_moe.b,
+                        frag_moe.Absent() ? std::uint64_t{1} : 0, 0};
+    }
+    const Message ctl =
+        co_await FragmentBroadcast(ctx, ldt, cursor.TakeBlock(), ctl_msg);
+    const Weight moe_weight = ctl.a;
+    if (ctl.b != 0) {  // DONE: this fragment spans the graph
+      finished = true;
+      sh->Snapshot(phase, ctx.Index(), ldt);
+      if (sh->termination == TerminationMode::kEarlyDetect) break;
+      cursor.SkipBlocks(blocks_per_phase - 3);
+      continue;
+    }
+
+    // ---- step (i) continued: sparsify incoming MOEs to at most 3 -----
+    // B4: announce our MOE weight; detect INCOMING-MOEs on our ports (a
+    // neighbor's announced weight equals the shared edge's weight).
+    std::vector<std::uint32_t> incoming_ports;
+    {
+      auto inbox = co_await TransmitAdjacent(
+          ctx, ldt, cursor.TakeBlock(),
+          ToAllPorts(ctx, Message{kTagMoeAnnounce, moe_weight, 0, 0}));
+      for (const InMessage& m : inbox) {
+        if (m.msg.type == kTagMoeAnnounce &&
+            nbr_frag[m.port] != ldt.fragment_id &&
+            m.msg.a == ctx.WeightAtPort(m.port)) {
+          incoming_ports.push_back(m.port);
+        }
+      }
+      std::sort(incoming_ports.begin(), incoming_ports.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return ctx.WeightAtPort(a) < ctx.WeightAtPort(b);
+                });
+    }
+
+    // B5: incoming-MOE counts converge (per-subtree breakdown kept).
+    const UpcastSumResult counts = co_await UpcastSum(
+        ctx, ldt, cursor.TakeBlock(), incoming_ports.size());
+
+    // B6: the root allots at most 3 tokens; each node selects its own
+    // incoming edges (lightest first) and splits the rest by subtree.
+    std::vector<std::uint32_t> valid_incoming;
+    {
+      const Round block = cursor.TakeBlock();
+      const auto sched = TransmissionSchedule(block, ldt.level, n);
+      std::uint64_t allot = 0;
+      if (ldt.IsRoot()) {
+        allot = std::min<std::uint64_t>(3, counts.subtree_total);
+      } else if (counts.subtree_total > 0) {
+        auto inbox = co_await ctx.Awake(sched.down_receive);
+        if (auto m = MessageFromPort(inbox, ldt.parent_port);
+            m.has_value() && m->type == kTagAllot) {
+          allot = m->a;
+        }
+      }
+      for (std::uint32_t p : incoming_ports) {
+        if (allot == 0) break;
+        valid_incoming.push_back(p);
+        --allot;
+      }
+      std::vector<OutMessage> sends;
+      for (const auto& [child_port, child_total] : counts.child_totals) {
+        const std::uint64_t give = std::min(allot, child_total);
+        allot -= give;
+        if (give > 0) {
+          sends.push_back({child_port, Message{kTagAllot, give, 0, 0}});
+        }
+      }
+      if (!sends.empty()) {
+        co_await ctx.Awake(sched.down_send, std::move(sends));
+      }
+    }
+
+    // B7: verdicts cross each incoming-MOE edge to its source fragment.
+    const std::uint32_t moe_port =
+        detail::PortOfOutgoingWeight(ctx, ldt, nbr_frag, moe_weight);
+    bool out_valid = false;
+    {
+      std::vector<OutMessage> sends;
+      for (std::uint32_t p : incoming_ports) {
+        const bool selected =
+            std::find(valid_incoming.begin(), valid_incoming.end(), p) !=
+            valid_incoming.end();
+        sends.push_back({p, Message{kTagVerdict, ctx.WeightAtPort(p),
+                                    selected ? std::uint64_t{1} : 0, 0}});
+      }
+      auto inbox =
+          co_await TransmitAdjacent(ctx, ldt, cursor.TakeBlock(), std::move(sends));
+      if (moe_port != kNoPort) {
+        if (auto m = MessageFromPort(inbox, moe_port);
+            m.has_value() && m->type == kTagVerdict && m->a == moe_weight) {
+          out_valid = m->b != 0;
+        }
+      }
+    }
+
+    // B8 + B9: outgoing validity to the root and fragment-wide. (The
+    // paper encodes this with +-infinity sentinel weights in Upcast-Min;
+    // an explicit flag is the same information.)
+    UpcastItem verdict;
+    if (moe_port != kNoPort) {
+      verdict = UpcastItem{out_valid ? 0u : 1u, nbr_frag[moe_port], 0};
+    }
+    const UpcastItem up =
+        co_await UpcastMin(ctx, ldt, cursor.TakeBlock(), verdict);
+    const Message validity = co_await FragmentBroadcast(
+        ctx, ldt, cursor.TakeBlock(), Message{kTagValidity, up.key, up.b, 0});
+    const bool frag_out_valid = validity.a == 0;
+
+    // ---- NBR-INFO gather: <=4 tuples fragment-wide (8 blocks) --------
+    std::vector<LocalEntry> locals;
+    for (std::uint32_t p : valid_incoming) {
+      locals.push_back({ctx.WeightAtPort(p), nbr_frag[p], false, p});
+    }
+    if (moe_port != kNoPort && frag_out_valid) {
+      locals.push_back({moe_weight, nbr_frag[moe_port], true, moe_port});
+    }
+    std::vector<NbrEntry> nbr_info;
+    auto announced = [&](Weight w) {
+      for (const NbrEntry& e : nbr_info) {
+        if (e.weight == w) return true;
+      }
+      return false;
+    };
+    for (int k = 0; k < 4; ++k) {
+      UpcastItem offer;
+      for (const LocalEntry& e : locals) {
+        if (announced(e.weight)) continue;
+        UpcastItem candidate{e.weight, e.frag, e.outgoing ? 1u : 0u};
+        if (candidate < offer) offer = candidate;
+      }
+      const UpcastItem got =
+          co_await UpcastMin(ctx, ldt, cursor.TakeBlock(), offer);
+      const Message msg = co_await FragmentBroadcast(
+          ctx, ldt, cursor.TakeBlock(),
+          Message{kTagNbrInfo, got.key, got.b, got.c});
+      if (msg.a != kPlusInfinity && !announced(msg.a)) {
+        nbr_info.push_back({msg.b, msg.a, msg.c != 0});
+      }
+    }
+
+    // Our own boundary ports in H (deduplicated: a mutual MOE appears in
+    // `locals` twice with the same port).
+    std::vector<HPort> h_ports;
+    for (const LocalEntry& e : locals) {
+      bool dup = false;
+      for (const HPort& hp : h_ports) dup |= hp.port == e.port;
+      if (!dup) h_ports.push_back({e.port, e.frag});
+    }
+
+    // ---- step (ii): color H, then merge ------------------------------
+    // The "mover" role (the paper's Blue): merges into a neighbor in
+    // wave 1, or along its own MOE in wave 2 if isolated in H. With
+    // Fast-Awake-Coloring movers are the Blue fragments; with the
+    // Corollary-1 log* coloring they are the local color minima (same
+    // independence and >= 1/341-per-component guarantees; see coloring.h).
+    bool is_blue;
+    if (!log_star) {
+      const ColoringResult col =
+          co_await FastAwakeColoring(ctx, ldt, cursor, nbr_info, h_ports);
+      is_blue = col.my_color == FragColor::kBlue;
+    } else if (nbr_info.empty()) {
+      cursor.SkipBlocks(coloring_blocks);
+      is_blue = true;  // isolated: trivially a local minimum
+    } else {
+      const LogStarResult col =
+          co_await LogStarColoring(ctx, ldt, cursor, nbr_info, h_ports);
+      is_blue = col.IsMover();
+    }
+    if (ldt.IsRoot() && is_blue) ctx.Probe(kProbeBlueAtPhase, phase);
+
+    // Merge wave 1: Blue fragments with H-neighbors pick the lowest-ID
+    // neighbor (any choice works; all its neighbors are non-Blue).
+    {
+      MergeRole role;
+      if (is_blue && !nbr_info.empty()) {
+        role.is_tails = true;
+        const NbrEntry* chosen = &nbr_info.front();
+        for (const NbrEntry& e : nbr_info) {
+          if (e.frag_id < chosen->frag_id ||
+              (e.frag_id == chosen->frag_id && e.weight < chosen->weight)) {
+            chosen = &e;
+          }
+        }
+        for (const LocalEntry& e : locals) {
+          if (e.weight == chosen->weight) role.attach_port = e.port;
+        }
+        if (role.is_tails && ldt.IsRoot()) {
+          ctx.Probe(kProbeMergesAtPhase, phase);
+        }
+      }
+      co_await MergingFragments(ctx, ldt, cursor, role, mark);
+    }
+
+    // Merge wave 2: Blue singletons (isolated in H) follow their own MOE
+    // into whatever fragment now sits at its far end.
+    {
+      MergeRole role;
+      if (is_blue && nbr_info.empty()) {
+        role.is_tails = true;
+        if (moe_port != kNoPort) role.attach_port = moe_port;
+        if (ldt.IsRoot()) ctx.Probe(kProbeMergesAtPhase, phase);
+      }
+      co_await MergingFragments(ctx, ldt, cursor, role, mark);
+    }
+    sh->Snapshot(phase, ctx.Index(), ldt);
+  }
+
+  if (!finished && sh->termination == TerminationMode::kEarlyDetect) {
+    throw std::runtime_error("Deterministic-MST: phase cap " +
+                             std::to_string(sh->phase_cap) +
+                             " exceeded without termination");
+  }
+  ctx.ReportTermination(cursor.NextRound() - 1);
+  sh->final_ldt[ctx.Index()] = ldt;
+  sh->phases_done[ctx.Index()] = last_active_phase;
+}
+
+}  // namespace
+
+std::uint64_t DeterministicPaperPhaseCount(std::size_t n) {
+  const double base = 240000.0 / 239999.0;
+  const double phases = std::log(static_cast<double>(n)) / std::log(base);
+  return static_cast<std::uint64_t>(std::ceil(phases)) + 240000;
+}
+
+MstRunResult RunDeterministicMst(const WeightedGraph& g,
+                                 const MstOptions& options) {
+  Shared sh;
+  sh.g = &g;
+  sh.termination = options.termination;
+  sh.coloring = options.coloring;
+  sh.record_snapshots = options.record_forest_snapshots;
+  // Each phase with >= 2 fragments retires at least one (every H
+  // component loses its Blue fragments; every singleton merges), so n+1
+  // phases always suffice; the paper's budget is the w.h.p.-style
+  // worst-case constant-factor bound.
+  sh.phase_cap = options.termination == TerminationMode::kPaperPhaseCount
+                     ? DeterministicPaperPhaseCount(g.NumNodes())
+                     : g.NumNodes() + 1;
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    sh.port_marks.emplace_back(g.DegreeOf(v), false);
+  }
+  sh.final_ldt.resize(g.NumNodes());
+  sh.phases_done.resize(g.NumNodes(), 0);
+
+  SimulatorOptions sim_options;
+  sim_options.seed = options.seed;
+  sim_options.max_rounds = options.max_rounds;
+  sim_options.record_wake_times = options.record_wake_times;
+  Simulator sim(g, sim_options);
+  sim.Run([&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); });
+
+  std::uint64_t phases = 0;
+  for (auto p : sh.phases_done) phases = std::max(phases, p);
+  auto result = AssembleResult(g, sh.port_marks, sim.GetMetrics(), phases,
+                               std::move(sh.final_ldt));
+  sh.snapshots.resize(std::min<std::size_t>(sh.snapshots.size(), phases));
+  result.forest_per_phase = std::move(sh.snapshots);
+  return result;
+}
+
+}  // namespace smst

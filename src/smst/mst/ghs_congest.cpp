@@ -1,0 +1,17 @@
+#include "smst/mst/ghs_congest.h"
+
+#include "smst/mst/randomized_mst.h"
+
+namespace smst {
+
+MstRunResult RunGhsBaseline(const WeightedGraph& g, const MstOptions& options) {
+  MstRunResult r = RunRandomizedMst(g, options);
+  // Traditional model: a node is awake from round 1 until it terminates,
+  // so awake complexity equals round complexity by definition.
+  r.stats.max_awake = r.stats.rounds;
+  r.stats.avg_awake = static_cast<double>(r.stats.rounds);
+  r.stats.awake_node_rounds = r.stats.rounds * g.NumNodes();
+  return r;
+}
+
+}  // namespace smst

@@ -1,0 +1,69 @@
+// Options shared by the distributed MST algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "smst/runtime/scheduler.h"
+
+namespace smst {
+
+enum class MstAlgorithm {
+  kRandomized,            // §2.2: coin-flip valid-MOE filtering
+  kDeterministic,         // §2.3: Fast-Awake-Coloring, O(nN log n) rounds
+  kDeterministicLogStar,  // Corollary 1: log*-coloring variant
+  kGhsBaseline,           // traditional model: awake every round
+  kBmSpanningTree,        // related work [2]: arbitrary spanning tree
+};
+
+const char* MstAlgorithmName(MstAlgorithm a);
+
+enum class TerminationMode {
+  // A fragment whose Upcast-Min finds no outgoing edge spans the whole
+  // graph; its root announces DONE in the next Fragment-Broadcast and
+  // everyone stops. O(1) extra awake rounds; exact termination.
+  kEarlyDetect,
+  // The paper's fixed phase budget (4*ceil(log_{4/3} n) + 1 randomized).
+  // Nodes run every phase; once a single fragment remains the remaining
+  // phases are no-ops. Correct w.h.p. exactly as stated in the paper.
+  kPaperPhaseCount,
+};
+
+enum class ColoringVariant {
+  kFastAwake,  // paper §2.3: N stages, O(1) awake, O(nN) rounds/phase
+  kLogStar,    // Corollary 1: O(log* n) awake, O(n log* n) rounds/phase
+};
+
+struct MstOptions {
+  std::uint64_t seed = 1;
+  TerminationMode termination = TerminationMode::kEarlyDetect;
+  ColoringVariant coloring = ColoringVariant::kFastAwake;
+  // Watchdog passed to the simulator.
+  Round max_rounds = std::uint64_t{1} << 62;
+  // Safety cap on phases in kEarlyDetect mode (generous multiple of the
+  // w.h.p. bound; exceeded only on algorithmic bugs).
+  std::uint64_t max_phase_factor = 64;
+  // Record per-node awake round numbers into MstRunResult::wake_times
+  // (the ring lower-bound experiment's information-propagation analysis).
+  bool record_wake_times = false;
+  // Snapshot every node's LDT state at the end of each phase into
+  // MstRunResult::forest_per_phase (tests check the FLDT invariant holds
+  // *between* phases, not just at the end). Out-of-band telemetry.
+  bool record_forest_snapshots = false;
+  // Adaptive schedule blocks (randomized engine only): instead of the
+  // paper's fixed 2n+1-round blocks, phase p uses blocks of span
+  // B_p + 1, where B_1 = 0 and B_{p+1} = min(3*B_p + 1, n-1) bounds every
+  // fragment's depth (a merged fragment is at most 3x+1 deeper than its
+  // parts: heads depth + 1 + re-rooted tails depth <= B + 1 + 2B). Same
+  // protocol, same coin flips, same tree and awake complexity — only the
+  // early phases' sleeping rounds shrink. See bench_adaptive_blocks.
+  bool adaptive_blocks = false;
+};
+
+// Probe kinds recorded out-of-band for the benches.
+enum ProbeKind : std::uint32_t {
+  kProbeFragmentsAtPhase = 1,  // key: phase; delta: +1 per fragment root
+  kProbeBlueAtPhase = 2,       // key: phase; +1 per Blue fragment root
+  kProbeMergesAtPhase = 3,     // key: phase; +1 per merging fragment
+};
+
+}  // namespace smst

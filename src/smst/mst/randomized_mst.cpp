@@ -1,0 +1,250 @@
+#include "smst/mst/randomized_mst.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "smst/mst/detail.h"
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/merging.h"
+#include "smst/sleeping/procedures.h"
+
+namespace smst {
+
+namespace {
+
+constexpr std::uint16_t kTagFragId = 100;
+constexpr std::uint16_t kTagPhaseCtl = 101;  // a=MOE weight, b=done, c=tails
+constexpr std::uint16_t kTagMoeCoin = 102;   // a=MOE weight, b=tails
+constexpr std::uint16_t kTagValidity = 103;
+
+struct Shared {
+  const WeightedGraph* g = nullptr;
+  detail::SelectionRule rule = detail::SelectionRule::kMinWeight;
+  TerminationMode termination = TerminationMode::kEarlyDetect;
+  std::uint64_t phase_cap = 0;
+  bool record_snapshots = false;
+  bool adaptive_blocks = false;
+  std::vector<std::vector<bool>> port_marks;
+  std::vector<LdtState> final_ldt;
+  std::vector<std::uint64_t> phases_done;
+  std::vector<std::vector<LdtState>> snapshots;
+
+  void Snapshot(std::uint64_t phase, NodeIndex v, const LdtState& ldt) {
+    if (!record_snapshots) return;
+    if (snapshots.size() < phase) {
+      snapshots.resize(phase, std::vector<LdtState>(g->NumNodes()));
+    }
+    snapshots[phase - 1][v] = ldt;
+  }
+};
+
+Task<void> NodeMain(NodeContext& ctx, Shared* sh);
+
+MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
+                       detail::SelectionRule rule) {
+  Shared sh;
+  sh.g = &g;
+  sh.rule = rule;
+  sh.record_snapshots = options.record_forest_snapshots;
+  sh.adaptive_blocks = options.adaptive_blocks;
+  sh.termination = options.termination;
+  sh.phase_cap =
+      options.termination == TerminationMode::kPaperPhaseCount
+          ? RandomizedPaperPhaseCount(g.NumNodes())
+          : options.max_phase_factor *
+                (static_cast<std::uint64_t>(
+                     std::ceil(std::log2(static_cast<double>(g.NumNodes())))) +
+                 2);
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    sh.port_marks.emplace_back(g.DegreeOf(v), false);
+  }
+  sh.final_ldt.resize(g.NumNodes());
+  sh.phases_done.resize(g.NumNodes(), 0);
+
+  SimulatorOptions sim_options;
+  sim_options.seed = options.seed;
+  sim_options.max_rounds = options.max_rounds;
+  sim_options.record_wake_times = options.record_wake_times;
+  Simulator sim(g, sim_options);
+  sim.Run([&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); });
+
+  std::uint64_t phases = 0;
+  for (auto p : sh.phases_done) phases = std::max(phases, p);
+  auto result = AssembleResult(g, sh.port_marks, sim.GetMetrics(), phases,
+                               std::move(sh.final_ldt));
+  sh.snapshots.resize(std::min<std::size_t>(sh.snapshots.size(), phases));
+  result.forest_per_phase = std::move(sh.snapshots);
+  return result;
+}
+
+Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
+  const std::size_t n = ctx.NumNodesKnown();
+  LdtState ldt = LdtState::Singleton(ctx.Id());
+  std::vector<bool>& mark = sh->port_marks[ctx.Index()];
+  std::vector<NodeId> nbr_frag(ctx.Degree(), 0);
+  BlockCursor cursor(1, n);
+
+  bool finished = false;
+  std::uint64_t last_active_phase = 0;
+  // Adaptive blocks: B_p bounds every fragment's depth at the start of
+  // phase p (see MstOptions::adaptive_blocks). All nodes advance this
+  // bound identically, so block boundaries stay globally agreed.
+  std::uint64_t depth_bound = 0;
+  for (std::uint64_t phase = 1; phase <= sh->phase_cap; ++phase) {
+    const std::size_t span =
+        sh->adaptive_blocks
+            ? static_cast<std::size_t>(
+                  std::min<std::uint64_t>(depth_bound + 1, n))
+            : n;
+    cursor.SetSpan(span);
+    depth_bound = std::min<std::uint64_t>(3 * depth_bound + 1, n - 1);
+    if (finished) {  // paper mode: remaining phases are no-ops, asleep
+      cursor.SkipBlocks(kRandomizedBlocksPerPhase);
+      continue;
+    }
+    last_active_phase = phase;
+    if (ldt.IsRoot()) ctx.Probe(kProbeFragmentsAtPhase, phase);
+
+    // B1: learn adjacent fragment IDs.
+    {
+      auto inbox = co_await TransmitAdjacent(
+          ctx, ldt, cursor.TakeBlock(),
+          ToAllPorts(ctx, Message{kTagFragId, ldt.fragment_id, 0, 0}), span);
+      for (const InMessage& m : inbox) {
+        if (m.msg.type == kTagFragId) nbr_frag[m.port] = m.msg.a;
+      }
+    }
+
+    // Local MOE candidate among ports leading outside the fragment.
+    const UpcastItem local_moe =
+        detail::LocalMoe(ctx, ldt, nbr_frag, sh->rule);
+
+    // B2: fragment MOE converges at the root.
+    const UpcastItem frag_moe =
+        co_await UpcastMin(ctx, ldt, cursor.TakeBlock(), local_moe, span);
+
+    // B3: root announces (MOE edge weight, DONE, coin).
+    Message ctl_msg{};
+    if (ldt.IsRoot()) {
+      const bool done = frag_moe.Absent();  // no outgoing edge: we span G
+      const bool tails = ctx.Rng().NextCoin();
+      ctl_msg = Message{kTagPhaseCtl, frag_moe.b,
+                        done ? std::uint64_t{1} : 0,
+                        tails ? std::uint64_t{1} : 0};
+    }
+    const Message ctl = co_await FragmentBroadcast(ctx, ldt,
+                                                   cursor.TakeBlock(),
+                                                   ctl_msg, span);
+    const Weight moe_weight = ctl.a;
+    const bool done = ctl.b != 0;
+    const bool tails = ctl.c != 0;
+    if (done) {
+      finished = true;
+      sh->Snapshot(phase, ctx.Index(), ldt);
+      if (sh->termination == TerminationMode::kEarlyDetect) break;
+      cursor.SkipBlocks(kRandomizedBlocksPerPhase - 3);
+      continue;
+    }
+
+    // B4: exchange (MOE weight, coin) with adjacent fragments.
+    std::vector<bool> nbr_tails(ctx.Degree(), false);
+    {
+      auto inbox = co_await TransmitAdjacent(
+          ctx, ldt, cursor.TakeBlock(),
+          ToAllPorts(ctx, Message{kTagMoeCoin, moe_weight, tails ? 1u : 0u, 0}),
+          span);
+      for (const InMessage& m : inbox) {
+        if (m.msg.type == kTagMoeCoin) nbr_tails[m.port] = m.msg.b != 0;
+      }
+    }
+
+    // Validity: the MOE is valid iff we flipped tails and the fragment on
+    // its far side flipped heads. Decided by the (unique) MOE endpoint.
+    const std::uint32_t moe_port =
+        detail::PortOfOutgoingWeight(ctx, ldt, nbr_frag, moe_weight);
+    UpcastItem verdict;  // absent unless we are the endpoint
+    if (moe_port != kNoPort) {
+      const bool valid = tails && !nbr_tails[moe_port];
+      verdict = UpcastItem{valid ? 0u : 1u, 0, 0};
+    }
+
+    // B5 + B6: verdict to root, then fragment-wide.
+    const UpcastItem up =
+        co_await UpcastMin(ctx, ldt, cursor.TakeBlock(), verdict, span);
+    const Message valid_msg = co_await FragmentBroadcast(
+        ctx, ldt, cursor.TakeBlock(), Message{kTagValidity, up.key, 0, 0},
+        span);
+    const bool merges = tails && valid_msg.a == 0;
+
+    // B7-B9: merge tails fragments into their heads fragments.
+    MergeRole role;
+    role.is_tails = merges;
+    if (merges && moe_port != kNoPort) role.attach_port = moe_port;
+    if (merges && ldt.IsRoot()) ctx.Probe(kProbeMergesAtPhase, phase);
+    co_await MergingFragments(ctx, ldt, cursor, role, mark);
+    sh->Snapshot(phase, ctx.Index(), ldt);
+  }
+
+  if (!finished && sh->termination == TerminationMode::kEarlyDetect) {
+    throw std::runtime_error("Randomized-MST: phase cap " +
+                             std::to_string(sh->phase_cap) +
+                             " exceeded without termination");
+  }
+  ctx.ReportTermination(cursor.NextRound() - 1);
+  sh->final_ldt[ctx.Index()] = ldt;
+  sh->phases_done[ctx.Index()] = last_active_phase;
+}
+
+}  // namespace
+
+std::uint64_t RandomizedPaperPhaseCount(std::size_t n) {
+  const double log43 = std::log(static_cast<double>(n)) / std::log(4.0 / 3.0);
+  return 4 * static_cast<std::uint64_t>(std::ceil(log43)) + 1;
+}
+
+MstRunResult RunRandomizedMst(const WeightedGraph& g,
+                              const MstOptions& options) {
+  return RunEngine(g, options, detail::SelectionRule::kMinWeight);
+}
+
+namespace detail {
+
+MstRunResult RunGhsStyle(const WeightedGraph& g, const MstOptions& options,
+                         SelectionRule rule) {
+  return RunEngine(g, options, rule);
+}
+
+UpcastItem LocalMoe(const NodeContext& ctx, const LdtState& ldt,
+                    const std::vector<NodeId>& nbr_frag, SelectionRule rule) {
+  UpcastItem best;  // absent
+  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+    if (nbr_frag[p] == ldt.fragment_id) continue;
+    const Weight w = ctx.WeightAtPort(p);
+    UpcastItem candidate;
+    switch (rule) {
+      case SelectionRule::kMinWeight:
+        candidate = UpcastItem{w, w, 0};
+        break;
+      case SelectionRule::kMinNeighborId:
+        candidate = UpcastItem{nbr_frag[p], w, 0};
+        break;
+    }
+    if (candidate < best) best = candidate;
+  }
+  return best;
+}
+
+std::uint32_t PortOfOutgoingWeight(const NodeContext& ctx, const LdtState& ldt,
+                                   const std::vector<NodeId>& nbr_frag,
+                                   Weight weight) {
+  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+    if (nbr_frag[p] != ldt.fragment_id && ctx.WeightAtPort(p) == weight) {
+      return p;
+    }
+  }
+  return kNoPort;
+}
+
+}  // namespace detail
+}  // namespace smst

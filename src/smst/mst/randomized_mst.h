@@ -1,0 +1,35 @@
+// Algorithm Randomized-MST (paper §2.2).
+//
+// GHS adapted to the sleeping model. Per phase (9 schedule blocks):
+//
+//   step (i) — find & filter MOEs:
+//     B1 Transmit-Adjacent : learn neighbors' fragment IDs
+//     B2 Upcast-Min        : fragment MOE reaches the root
+//     B3 Fragment-Broadcast: root announces (MOE, coin flip, DONE?)
+//     B4 Transmit-Adjacent : exchange (MOE, coin) with adjacent fragments
+//     B5 Upcast-Min        : the MOE endpoint's validity verdict goes up
+//     B6 Fragment-Broadcast: everyone learns "do we merge?"
+//   step (ii) — merge (B7-B9): Merging-Fragments with tails = fragments
+//     that flipped tails and whose MOE leads to a heads fragment.
+//
+// Each phase costs O(1) awake rounds and 9(2n+1) rounds; with high
+// probability O(log n) phases suffice (Lemma 1), giving O(log n) awake
+// and O(n log n) round complexity (Theorem 1).
+#pragma once
+
+#include "smst/graph/graph.h"
+#include "smst/mst/options.h"
+#include "smst/mst/result.h"
+
+namespace smst {
+
+// Schedule blocks per phase (used by round-complexity assertions).
+inline constexpr std::uint64_t kRandomizedBlocksPerPhase = 9;
+
+// Paper phase budget: 4*ceil(log_{4/3} n) + 1.
+std::uint64_t RandomizedPaperPhaseCount(std::size_t n);
+
+MstRunResult RunRandomizedMst(const WeightedGraph& g,
+                              const MstOptions& options = {});
+
+}  // namespace smst

@@ -1,0 +1,55 @@
+#include "smst/mst/result.h"
+
+#include <string>
+
+#include "smst/mst/options.h"
+
+namespace smst {
+
+MstRunResult AssembleResult(const WeightedGraph& g,
+                            const std::vector<std::vector<bool>>& port_marks,
+                            const Metrics& metrics, std::uint64_t phases,
+                            std::vector<LdtState> final_ldt) {
+  MstRunResult r;
+  r.stats = metrics.Summarize();
+  r.phases = phases;
+  r.final_ldt = std::move(final_ldt);
+
+  // Per-edge marks from both endpoints' port marks.
+  std::vector<std::uint8_t> endpoint_count(g.NumEdges(), 0);
+  for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+    const auto ports = g.PortsOf(v);
+    for (std::uint32_t p = 0; p < ports.size(); ++p) {
+      if (port_marks[v][p]) ++endpoint_count[ports[p].edge];
+    }
+  }
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    if (endpoint_count[e] == 2) {
+      r.tree_edges.push_back(e);
+    } else if (endpoint_count[e] == 1 && r.consistency_error.empty()) {
+      r.consistency_error =
+          "edge " + std::to_string(e) +
+          " marked by exactly one endpoint (protocol inconsistency)";
+    }
+  }
+
+  r.node_metrics = metrics.PerNode();
+  if (metrics.WakeTimesEnabled()) {
+    r.wake_times.reserve(g.NumNodes());
+    for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+      r.wake_times.push_back(metrics.Node(v).wake_times);
+    }
+  }
+
+  r.fragments_per_phase.assign(phases + 1, 0);
+  r.blue_per_phase.assign(phases + 1, 0);
+  for (std::uint64_t phase = 1; phase <= phases; ++phase) {
+    r.fragments_per_phase[phase] = static_cast<std::uint64_t>(
+        metrics.ProbeValue(kProbeFragmentsAtPhase, phase));
+    r.blue_per_phase[phase] = static_cast<std::uint64_t>(
+        metrics.ProbeValue(kProbeBlueAtPhase, phase));
+  }
+  return r;
+}
+
+}  // namespace smst

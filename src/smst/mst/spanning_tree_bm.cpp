@@ -1,0 +1,31 @@
+#include "smst/mst/spanning_tree_bm.h"
+
+#include <stdexcept>
+
+#include "smst/mst/detail.h"
+
+namespace smst {
+
+MstRunResult RunBmSpanningTree(const WeightedGraph& g,
+                               const MstOptions& options) {
+  return detail::RunGhsStyle(g, options, detail::SelectionRule::kMinNeighborId);
+}
+
+LeaderElectionResult RunLeaderElection(const WeightedGraph& g,
+                                       const MstOptions& options) {
+  const MstRunResult run = RunBmSpanningTree(g, options);
+  LeaderElectionResult result;
+  // After convergence every node stores the same fragment ID: the root's
+  // own node ID. No extra rounds are needed for anyone to learn it.
+  result.leader_id = run.final_ldt.empty() ? 0 : run.final_ldt[0].fragment_id;
+  for (const LdtState& s : run.final_ldt) {
+    if (s.fragment_id != result.leader_id) {
+      throw std::runtime_error("leader election did not converge");
+    }
+  }
+  result.stats = run.stats;
+  result.phases = run.phases;
+  return result;
+}
+
+}  // namespace smst

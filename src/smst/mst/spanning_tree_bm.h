@@ -1,0 +1,31 @@
+// Arbitrary spanning tree in O(log n) awake rounds, in the spirit of
+// Barenboim-Maimon [2] (the paper's related work): the same coin-filtered
+// fragment-merging engine as Randomized-MST, but each fragment grabs an
+// arbitrary outgoing edge (minimum neighbor fragment ID) instead of the
+// minimum-weight one. The output is a spanning tree but in general NOT
+// the MST — the contrast the paper draws (its LDT machinery is exactly
+// what upgrades "some spanning tree" to "the MST" at no awake cost).
+#pragma once
+
+#include "smst/graph/graph.h"
+#include "smst/mst/options.h"
+#include "smst/mst/result.h"
+
+namespace smst {
+
+MstRunResult RunBmSpanningTree(const WeightedGraph& g,
+                               const MstOptions& options = {});
+
+// Leader election in O(log n) awake rounds (also from [2]): run the
+// spanning-tree construction; when the forest collapses to one tree,
+// every node's fragment ID *is* the surviving root's ID — a leader every
+// node already knows. Returns the leader's node ID and the run's stats.
+struct LeaderElectionResult {
+  NodeId leader_id = 0;
+  RunStats stats;
+  std::uint64_t phases = 0;
+};
+LeaderElectionResult RunLeaderElection(const WeightedGraph& g,
+                                       const MstOptions& options = {});
+
+}  // namespace smst

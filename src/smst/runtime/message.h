@@ -1,0 +1,53 @@
+// CONGEST messages.
+//
+// The model allows O(log n)-bit messages per edge per round. We represent
+// a message as a small tagged record (a type tag plus three 64-bit
+// fields); BitSize() reports the information content actually used so
+// tests can assert the O(log n) budget. Field values are IDs, levels,
+// weights, counts — all poly(n), i.e. O(log n) bits each.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace smst {
+
+// Sentinel weight values used by the deterministic algorithm's validity
+// echo (the paper's ±infinity). They sit outside the generator weight
+// range, and compare correctly as uint64s.
+inline constexpr std::uint64_t kMinusInfinity = 0;
+inline constexpr std::uint64_t kPlusInfinity = ~std::uint64_t{0};
+
+struct Message {
+  std::uint16_t type = 0;  // algorithm-defined tag
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  // Bits needed to encode this message: tag byte + the occupied widths.
+  // (An exact wire format would add field delimiters; this is the
+  // standard information-theoretic accounting used for CONGEST.)
+  std::uint32_t BitSize() const {
+    auto width = [](std::uint64_t v) -> std::uint32_t {
+      return v == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(v));
+    };
+    return 8u + width(a) + width(b) + width(c);
+  }
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+// A message queued for sending, addressed by local port number (CONGEST
+// nodes address neighbors only through ports).
+struct OutMessage {
+  std::uint32_t port = 0;
+  Message msg;
+};
+
+// A received message, tagged with the local port it arrived on.
+struct InMessage {
+  std::uint32_t port = 0;
+  Message msg;
+};
+
+}  // namespace smst

@@ -1,0 +1,25 @@
+#include "smst/runtime/metrics.h"
+
+namespace smst {
+
+RunStats Metrics::Summarize() const {
+  RunStats s;
+  s.rounds = last_round_;
+  s.max_message_bits = max_message_bits_;
+  std::uint64_t sum_awake = 0;
+  for (const NodeMetrics& m : per_node_) {
+    sum_awake += m.awake_rounds;
+    if (m.awake_rounds > s.max_awake) s.max_awake = m.awake_rounds;
+    s.total_messages += m.messages_sent;
+    s.total_bits += m.bits_sent;
+    s.dropped_messages += m.messages_dropped;
+  }
+  s.awake_node_rounds = sum_awake;
+  s.avg_awake = per_node_.empty()
+                    ? 0.0
+                    : static_cast<double>(sum_awake) /
+                          static_cast<double>(per_node_.size());
+  return s;
+}
+
+}  // namespace smst

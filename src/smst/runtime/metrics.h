@@ -1,0 +1,86 @@
+// Run metrics: the quantities the paper's Table 1 is about.
+//
+// The scheduler (not the algorithms) meters awake rounds, so an algorithm
+// cannot under-report its awake complexity. Probes are out-of-band
+// telemetry used by benches (e.g. fragment counts per phase); they do not
+// affect execution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace smst {
+
+struct NodeMetrics {
+  std::uint64_t awake_rounds = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bits_sent = 0;
+  std::uint64_t messages_dropped = 0;  // sent to a sleeping neighbor
+  // The absolute round numbers this node was awake in, recorded only when
+  // Metrics::EnableWakeTimes() was called (used by the ring lower-bound
+  // experiment's information-propagation analysis).
+  std::vector<std::uint64_t> wake_times;
+};
+
+// Aggregate view over a finished run.
+struct RunStats {
+  std::uint64_t rounds = 0;            // last round any node was awake
+  std::uint64_t max_awake = 0;         // the paper's awake complexity
+  double avg_awake = 0.0;              // node-averaged awake complexity
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;  // largest single message
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t awake_node_rounds = 0;  // Σ_v awake_v (simulation work)
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t num_nodes) : per_node_(num_nodes) {}
+
+  NodeMetrics& Node(std::size_t v) { return per_node_[v]; }
+  const NodeMetrics& Node(std::size_t v) const { return per_node_[v]; }
+  const std::vector<NodeMetrics>& PerNode() const { return per_node_; }
+
+  void RecordMessageBits(std::uint64_t bits) {
+    if (bits > max_message_bits_) max_message_bits_ = bits;
+  }
+
+  void EnableWakeTimes() { record_wake_times_ = true; }
+  bool WakeTimesEnabled() const { return record_wake_times_; }
+  void SetLastRound(std::uint64_t r) {
+    if (r > last_round_) last_round_ = r;
+  }
+  // Run time counts every round until the last node terminates locally,
+  // including trailing sleeping rounds (a paper-phase-budget run sleeps
+  // through its unused phases but still "takes" them).
+  void ExtendRun(std::uint64_t termination_round) {
+    SetLastRound(termination_round);
+  }
+  std::uint64_t LastRound() const { return last_round_; }
+
+  // Out-of-band bench telemetry: counters keyed by (kind, key).
+  void Probe(std::uint32_t kind, std::uint64_t key, std::int64_t delta = 1) {
+    probes_[{kind, key}] += delta;
+  }
+  std::int64_t ProbeValue(std::uint32_t kind, std::uint64_t key) const {
+    auto it = probes_.find({kind, key});
+    return it == probes_.end() ? 0 : it->second;
+  }
+  const std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t>&
+  Probes() const {
+    return probes_;
+  }
+
+  RunStats Summarize() const;
+
+ private:
+  std::vector<NodeMetrics> per_node_;
+  bool record_wake_times_ = false;
+  std::uint64_t last_round_ = 0;
+  std::uint64_t max_message_bits_ = 0;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t> probes_;
+};
+
+}  // namespace smst

@@ -1,0 +1,131 @@
+#include "smst/runtime/scheduler.h"
+
+#include <cassert>
+#include <coroutine>
+#include <stdexcept>
+#include <string>
+
+namespace smst {
+
+Scheduler::Scheduler(const WeightedGraph& graph, Metrics& metrics,
+                     Round max_rounds)
+    : graph_(graph),
+      metrics_(metrics),
+      max_rounds_(max_rounds),
+      awake_now_(graph.NumNodes(), nullptr),
+      edge_ports_(graph.NumEdges()) {
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    std::uint32_t port_index = 0;
+    for (const Port& p : graph_.PortsOf(v)) {
+      if (graph_.GetEdge(p.edge).u == v) edge_ports_[p.edge].first = port_index;
+      else edge_ports_[p.edge].second = port_index;
+      ++port_index;
+    }
+  }
+}
+
+void Scheduler::Register(PendingWake* wake) {
+  assert(wake != nullptr);
+  assert(wake->node < graph_.NumNodes());
+  if (wake->round <= current_round_) {
+    throw std::logic_error(
+        "node " + std::to_string(wake->node) + " requested awake round " +
+        std::to_string(wake->round) + " but the clock is already at " +
+        std::to_string(current_round_));
+  }
+  // CONGEST: at most one message per port per round.
+  {
+    std::uint64_t seen_ports = 0;  // degrees can exceed 64; fall back below
+    bool small = graph_.DegreeOf(wake->node) <= 64;
+    std::vector<bool> seen_large;
+    if (!small) seen_large.assign(graph_.DegreeOf(wake->node), false);
+    for (const OutMessage& out : wake->sends) {
+      if (out.port >= graph_.DegreeOf(wake->node)) {
+        throw std::logic_error("send on nonexistent port");
+      }
+      bool dup = small ? ((seen_ports >> out.port) & 1) != 0
+                       : seen_large[out.port];
+      if (dup) {
+        throw std::logic_error("two messages on one port in one round");
+      }
+      if (small) seen_ports |= std::uint64_t{1} << out.port;
+      else seen_large[out.port] = true;
+    }
+  }
+  queue_[wake->round].push_back(wake);
+}
+
+void Scheduler::RunUntilIdle() {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    const Round r = it->first;
+    if (r > max_rounds_) {
+      throw std::runtime_error("round watchdog tripped at round " +
+                               std::to_string(r) + " (max " +
+                               std::to_string(max_rounds_) + ")");
+    }
+    std::vector<PendingWake*> wakers = std::move(it->second);
+    queue_.erase(it);
+    RunRound(r, std::move(wakers));
+  }
+}
+
+void Scheduler::RunRound(Round r, std::vector<PendingWake*> wakers) {
+  current_round_ = r;
+  metrics_.SetLastRound(r);
+
+  for (PendingWake* w : wakers) {
+    assert(awake_now_[w->node] == nullptr && "node awake twice in a round");
+    awake_now_[w->node] = w;
+  }
+
+  // Delivery: same-round send/receive between simultaneously awake
+  // endpoints; messages to sleepers are lost (and counted).
+  std::vector<std::uint32_t> drops_this_round(trace_ ? wakers.size() : 0, 0);
+  for (std::size_t wi = 0; wi < wakers.size(); ++wi) {
+    PendingWake* w = wakers[wi];
+    NodeMetrics& nm = metrics_.Node(w->node);
+    for (const OutMessage& out : w->sends) {
+      const Port& port = graph_.PortsOf(w->node)[out.port];
+      ++nm.messages_sent;
+      const std::uint64_t bits = out.msg.BitSize();
+      nm.bits_sent += bits;
+      metrics_.RecordMessageBits(bits);
+      PendingWake* target = awake_now_[port.neighbor];
+      if (target == nullptr) {
+        ++nm.messages_dropped;
+        if (trace_) ++drops_this_round[wi];
+        continue;
+      }
+      // The receiving side identifies the sender by its own port number
+      // for the shared edge (precomputed).
+      const auto& [port_at_u, port_at_v] = edge_ports_[port.edge];
+      const std::uint32_t reverse_port =
+          graph_.GetEdge(port.edge).u == port.neighbor ? port_at_u
+                                                       : port_at_v;
+      target->inbox.push_back(InMessage{reverse_port, out.msg});
+    }
+  }
+
+  // Resume phase: every awake node gets its inbox and one awake round on
+  // the meter, then runs to its next suspension (or completion).
+  for (std::size_t wi = 0; wi < wakers.size(); ++wi) {
+    PendingWake* w = wakers[wi];
+    awake_now_[w->node] = nullptr;
+    NodeMetrics& nm = metrics_.Node(w->node);
+    ++nm.awake_rounds;
+    if (metrics_.WakeTimesEnabled()) nm.wake_times.push_back(r);
+    if (trace_) {
+      trace_(TraceEvent{r, w->node,
+                        static_cast<std::uint32_t>(w->sends.size()),
+                        static_cast<std::uint32_t>(w->inbox.size()),
+                        drops_this_round[wi]});
+    }
+    auto handle = std::coroutine_handle<>::from_address(w->handle_address);
+    // After resume(), `w` may be a dangling pointer (the coroutine frame
+    // advanced past the awaitable); do not touch it again.
+    handle.resume();
+  }
+}
+
+}  // namespace smst

@@ -1,0 +1,72 @@
+// The sleeping-model round engine.
+//
+// Semantics (normative, see DESIGN.md §4):
+//  * A node is awake in round r iff it co_awaited Awake(r, sends).
+//  * At round r the scheduler gathers the sends of every round-r awake
+//    node, delivers each message iff the *target* is also awake in round
+//    r (otherwise drops it and counts it — sleeping nodes lose messages),
+//    then resumes every round-r awake node with its inbox.
+//  * Rounds with no awake node are skipped in O(log n) time, so an
+//    execution with huge round counts (the deterministic algorithm's
+//    O(nN log n)) costs only Σ awake node-rounds of simulation work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/runtime/message.h"
+#include "smst/runtime/metrics.h"
+#include "smst/runtime/trace.h"
+
+namespace smst {
+
+using Round = std::uint64_t;
+
+// One suspended Awake(...) call; lives inside the awaiting coroutine's
+// frame (stable while suspended). Defined here so the scheduler can hold
+// pointers to it; constructed by NodeContext.
+struct PendingWake {
+  NodeIndex node = kInvalidNode;
+  Round round = 0;
+  std::vector<OutMessage> sends;
+  std::vector<InMessage> inbox;
+  void* handle_address = nullptr;  // std::coroutine_handle<> address
+};
+
+class Scheduler {
+ public:
+  Scheduler(const WeightedGraph& graph, Metrics& metrics,
+            Round max_rounds);
+
+  // Registers a suspended node; called from the Awake awaitable.
+  void Register(PendingWake* wake);
+
+  // Runs rounds until no node is pending. Throws std::runtime_error if
+  // `max_rounds` is exceeded (runaway algorithm watchdog).
+  void RunUntilIdle();
+
+  Round CurrentRound() const { return current_round_; }
+  bool HasPending() const { return !queue_.empty(); }
+
+  void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+
+ private:
+  void RunRound(Round r, std::vector<PendingWake*> wakers);
+
+  const WeightedGraph& graph_;
+  Metrics& metrics_;
+  Round max_rounds_;
+  Round current_round_ = 0;
+  std::map<Round, std::vector<PendingWake*>> queue_;
+  // node -> its PendingWake for the round being processed (else null).
+  std::vector<PendingWake*> awake_now_;
+  // edge -> (port index at edge.u, port index at edge.v), precomputed so
+  // delivery resolves the receiver's port in O(1).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_ports_;
+  TraceSink trace_;
+};
+
+}  // namespace smst

@@ -1,0 +1,52 @@
+#include "smst/runtime/simulator.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace smst {
+
+Simulator::Simulator(const WeightedGraph& graph, SimulatorOptions options)
+    : graph_(graph),
+      options_(options),
+      metrics_(graph.NumNodes()),
+      scheduler_(graph, metrics_, options.max_rounds) {
+  if (options.record_wake_times) metrics_.EnableWakeTimes();
+  if (options_.trace) scheduler_.SetTraceSink(options_.trace);
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::Run(const NodeProgram& program) {
+  if (ran_) throw std::logic_error("Simulator::Run may be called once");
+  ran_ = true;
+
+  Xoshiro256 root_rng(options_.seed);
+  contexts_.reserve(graph_.NumNodes());
+  runners_.reserve(graph_.NumNodes());
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    // Each node's private randomness is a substream keyed by its index so
+    // runs are reproducible regardless of scheduling order.
+    contexts_.push_back(std::make_unique<NodeContext>(
+        graph_, v, scheduler_, metrics_, root_rng.Split(v)));
+  }
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    runners_.emplace_back(program(*contexts_[v]));
+  }
+  // Start after all tasks exist: a program may run to completion
+  // immediately, and starting in a second pass keeps round-1 sends of all
+  // nodes registered before the first round executes.
+  for (TaskRunner& r : runners_) r.Start();
+
+  scheduler_.RunUntilIdle();
+
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    if (!runners_[v].Done()) {
+      throw std::runtime_error(
+          "node " + std::to_string(v) +
+          " never finished (suspended with an empty wake queue)");
+    }
+    runners_[v].RethrowIfFailed();
+  }
+}
+
+}  // namespace smst

@@ -1,0 +1,53 @@
+// Simulator: drives one node program per node to completion and collects
+// the run's metrics. Deterministic under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "smst/graph/graph.h"
+#include "smst/runtime/metrics.h"
+#include "smst/runtime/node.h"
+#include "smst/runtime/task.h"
+
+namespace smst {
+
+struct SimulatorOptions {
+  std::uint64_t seed = 1;
+  // Watchdog: abort if the round clock passes this (runaway algorithms).
+  Round max_rounds = std::uint64_t{1} << 62;
+  // Record every node's awake round numbers (lower-bound experiments).
+  bool record_wake_times = false;
+  // Optional per-(node, awake round) event sink; see runtime/trace.h.
+  TraceSink trace;
+};
+
+// A node program: the algorithm one node runs. Must eventually finish.
+using NodeProgram = std::function<Task<void>(NodeContext&)>;
+
+class Simulator {
+ public:
+  Simulator(const WeightedGraph& graph, SimulatorOptions options = {});
+  ~Simulator();
+
+  // Starts `program` on every node and runs rounds until all programs
+  // finish. Rethrows the first node failure. May be called once.
+  void Run(const NodeProgram& program);
+
+  const Metrics& GetMetrics() const { return metrics_; }
+  RunStats Stats() const { return metrics_.Summarize(); }
+
+ private:
+  const WeightedGraph& graph_;
+  SimulatorOptions options_;
+  Metrics metrics_;
+  Scheduler scheduler_;
+  // Contexts must be address-stable across the run (coroutines hold
+  // references), hence unique_ptrs.
+  std::vector<std::unique_ptr<NodeContext>> contexts_;
+  std::vector<TaskRunner> runners_;
+  bool ran_ = false;
+};
+
+}  // namespace smst

@@ -1,0 +1,27 @@
+// Optional execution tracing.
+//
+// A TraceSink receives one event per (awake node, round) after delivery:
+// what the node sent and received. Intended for debugging node programs
+// and for teaching (the deterministic walkthrough); tracing a large run
+// is expensive by design — leave the sink null for measurement runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "smst/graph/graph.h"
+#include "smst/runtime/message.h"
+
+namespace smst {
+
+struct TraceEvent {
+  std::uint64_t round = 0;
+  NodeIndex node = kInvalidNode;
+  std::uint32_t sent = 0;      // messages sent this round
+  std::uint32_t received = 0;  // messages received this round
+  std::uint32_t dropped = 0;   // of the sent, how many hit sleepers
+};
+
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+}  // namespace smst

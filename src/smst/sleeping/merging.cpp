@@ -1,0 +1,170 @@
+#include "smst/sleeping/merging.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "smst/sleeping/procedures.h"
+
+namespace smst {
+
+namespace {
+
+std::optional<Message> FromPort(const std::vector<InMessage>& inbox,
+                                std::uint32_t port) {
+  for (const InMessage& m : inbox) {
+    if (m.port == port) return m.msg;
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void ProtocolError(const NodeContext& ctx, const std::string& what) {
+  throw std::runtime_error("MergingFragments: node " +
+                           std::to_string(ctx.Id()) + ": " + what);
+}
+
+}  // namespace
+
+Task<void> MergingFragments(NodeContext& ctx, LdtState& ldt,
+                            BlockCursor& cursor, MergeRole role,
+                            std::vector<bool>& mst_port_mark) {
+  // The schedule span comes from the cursor so the adaptive-blocks
+  // optimization applies here too (levels are bounded by the caller's
+  // per-phase depth invariant).
+  const std::size_t span = cursor.Span();
+  const Round block_a = cursor.TakeBlock();
+  const Round block_b = cursor.TakeBlock();
+  const Round block_c = cursor.TakeBlock();
+
+  // Pending NEW-* values (the paper's NEW-FRAGMENT-ID / NEW-LEVEL-NUM)
+  // and re-orientation, applied only after sub-block C.
+  bool have_new = false;
+  NodeId new_frag = 0;
+  std::uint64_t new_level = 0;
+  std::uint32_t new_parent_port = ldt.parent_port;
+  std::vector<std::uint32_t> new_children = ldt.child_ports;
+
+  // --- sub-block A: Side exchange of (fragment ID, level, ATTACH) ------
+  {
+    const auto sched = TransmissionSchedule(block_a, ldt.level, span);
+    std::vector<OutMessage> sends;
+    sends.reserve(ctx.Degree());
+    for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+      const std::uint64_t attach =
+          (role.is_tails && p == role.attach_port) ? 1 : 0;
+      sends.push_back(
+          {p, Message{kTagMergeSide, ldt.fragment_id, ldt.level, attach}});
+    }
+    auto inbox = co_await ctx.Awake(sched.side, std::move(sends));
+
+    for (const InMessage& m : inbox) {
+      if (m.msg.type != kTagMergeSide) continue;
+      if (m.msg.c == 1) {
+        // A neighbor attaches to us over this edge: we gain a child.
+        if (role.is_tails) {
+          ProtocolError(ctx, "a tails node received an ATTACH flag");
+        }
+        new_children.push_back(m.port);
+        mst_port_mark[m.port] = true;
+      }
+    }
+    if (role.is_tails && role.attach_port != kNoPort) {
+      auto from_target = FromPort(inbox, role.attach_port);
+      if (!from_target.has_value()) {
+        ProtocolError(ctx, "merge target silent in the Side round");
+      }
+      new_frag = from_target->a;
+      new_level = from_target->b + 1;
+      have_new = true;
+      // Re-root: the merge target becomes the parent; all old tree
+      // neighbors (old children and old parent) become children.
+      new_parent_port = role.attach_port;
+      if (ldt.parent_port != kNoPort) new_children.push_back(ldt.parent_port);
+      mst_port_mark[role.attach_port] = true;
+    }
+  }
+
+  if (role.is_tails) {
+    // --- sub-block B: first schedule instance (up the old tree) --------
+    // The NEW values travel from u_T to the old root; each path node
+    // re-orients toward the child it heard from.
+    {
+      const auto sched = TransmissionSchedule(block_b, ldt.level, span);
+      if (!ldt.child_ports.empty()) {
+        auto inbox = co_await ctx.Awake(sched.up_receive);
+        std::uint32_t sender = kNoPort;
+        for (std::uint32_t p : ldt.child_ports) {
+          if (auto m = FromPort(inbox, p); m.has_value()) {
+            if (sender != kNoPort) {
+              ProtocolError(ctx, "two children on the re-root path");
+            }
+            sender = p;
+            new_level = m->a + 1;
+            new_frag = m->b;
+            have_new = true;
+          }
+        }
+        if (sender != kNoPort) {
+          // New parent = that child; old parent (if any) becomes a child.
+          new_parent_port = sender;
+          new_children = ldt.child_ports;
+          new_children.erase(std::remove(new_children.begin(),
+                                         new_children.end(), sender),
+                             new_children.end());
+          if (ldt.parent_port != kNoPort) {
+            new_children.push_back(ldt.parent_port);
+          }
+        }
+      }
+      if (have_new && !ldt.IsRoot()) {
+        co_await ctx.Awake(
+            sched.up_send,
+            OutMessage{ldt.parent_port,
+                       Message{kTagMergeUp, new_level, new_frag, 0}});
+      }
+    }
+
+    // --- sub-block C: second instance (down the old tree) --------------
+    // Still-empty nodes adopt (old parent's NEW level + 1); orientation
+    // unchanged for them.
+    {
+      const auto sched = TransmissionSchedule(block_c, ldt.level, span);
+      if (!have_new) {
+        if (ldt.IsRoot()) {
+          // The old root is always on the u_T -> root path.
+          ProtocolError(ctx, "tails root has no NEW values after the up pass");
+        }
+        auto inbox = co_await ctx.Awake(sched.down_receive);
+        auto m = FromPort(inbox, ldt.parent_port);
+        if (!m.has_value()) {
+          ProtocolError(ctx, "no NEW values arrived in the down pass");
+        }
+        new_level = m->a + 1;
+        new_frag = m->b;
+        have_new = true;
+      }
+      // Send down to every old child except the one the NEW values came
+      // from (a path node's sender child already has them and sleeps
+      // through Down-Receive; skipping it keeps the protocol drop-free).
+      std::vector<OutMessage> sends;
+      sends.reserve(ldt.child_ports.size());
+      for (std::uint32_t p : ldt.child_ports) {
+        if (p == new_parent_port) continue;
+        sends.push_back({p, Message{kTagMergeDown, new_level, new_frag, 0}});
+      }
+      if (!sends.empty()) {
+        co_await ctx.Awake(sched.down_send, std::move(sends));
+      }
+    }
+
+    ldt.fragment_id = new_frag;
+    ldt.level = new_level;
+    ldt.parent_port = new_parent_port;
+  }
+  // Heads fragments keep ID / level / parent, and gain attach children.
+  ldt.child_ports = std::move(new_children);
+  co_return;
+}
+
+}  // namespace smst

@@ -1,0 +1,115 @@
+#include "smst/sleeping/procedures.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace smst {
+
+std::optional<Message> MessageFromPort(const std::vector<InMessage>& inbox,
+                                       std::uint32_t port) {
+  for (const InMessage& m : inbox) {
+    if (m.port == port) return m.msg;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+constexpr auto FromPort = MessageFromPort;
+
+}  // namespace
+
+Task<Message> FragmentBroadcast(NodeContext& ctx, const LdtState& ldt,
+                                Round block_start, Message root_msg,
+                                std::size_t span) {
+  const ScheduleRounds sched = TransmissionSchedule(
+      block_start, ldt.level, span == 0 ? ctx.NumNodesKnown() : span);
+  Message msg = root_msg;
+  if (!ldt.IsRoot()) {
+    auto inbox = co_await ctx.Awake(sched.down_receive);
+    auto from_parent = FromPort(inbox, ldt.parent_port);
+    if (!from_parent.has_value()) {
+      throw std::runtime_error(
+          "FragmentBroadcast: node " + std::to_string(ctx.Id()) +
+          " heard nothing from its parent in its Down-Receive round");
+    }
+    msg = *from_parent;
+  }
+  if (!ldt.child_ports.empty()) {
+    std::vector<OutMessage> sends;
+    sends.reserve(ldt.child_ports.size());
+    for (std::uint32_t p : ldt.child_ports) sends.push_back({p, msg});
+    co_await ctx.Awake(sched.down_send, std::move(sends));
+  }
+  co_return msg;
+}
+
+Task<UpcastItem> UpcastMin(NodeContext& ctx, const LdtState& ldt,
+                           Round block_start, UpcastItem own,
+                           std::size_t span) {
+  const ScheduleRounds sched = TransmissionSchedule(
+      block_start, ldt.level, span == 0 ? ctx.NumNodesKnown() : span);
+  UpcastItem best = own;
+  if (!ldt.child_ports.empty()) {
+    auto inbox = co_await ctx.Awake(sched.up_receive);
+    for (std::uint32_t p : ldt.child_ports) {
+      if (auto m = FromPort(inbox, p); m.has_value()) {
+        UpcastItem item{m->a, m->b, m->c};
+        if (item < best) best = item;
+      }
+    }
+  }
+  if (!ldt.IsRoot() && !best.Absent()) {
+    co_await ctx.Awake(
+        sched.up_send,
+        OutMessage{ldt.parent_port,
+                   Message{kTagUpcastMin, best.key, best.b, best.c}});
+  }
+  co_return best;
+}
+
+Task<UpcastSumResult> UpcastSum(NodeContext& ctx, const LdtState& ldt,
+                                Round block_start, std::uint64_t own,
+                                std::size_t span) {
+  const ScheduleRounds sched = TransmissionSchedule(
+      block_start, ldt.level, span == 0 ? ctx.NumNodesKnown() : span);
+  UpcastSumResult result;
+  result.subtree_total = own;
+  if (!ldt.child_ports.empty()) {
+    auto inbox = co_await ctx.Awake(sched.up_receive);
+    for (std::uint32_t p : ldt.child_ports) {
+      std::uint64_t child_total = 0;
+      if (auto m = FromPort(inbox, p); m.has_value()) child_total = m->a;
+      result.child_totals.emplace_back(p, child_total);
+      result.subtree_total += child_total;
+    }
+  }
+  if (!ldt.IsRoot() && result.subtree_total > 0) {
+    co_await ctx.Awake(
+        sched.up_send,
+        OutMessage{ldt.parent_port,
+                   Message{kTagUpcastSum, result.subtree_total, 0, 0}});
+  }
+  co_return result;
+}
+
+Task<std::vector<InMessage>> TransmitAdjacent(NodeContext& ctx,
+                                              const LdtState& ldt,
+                                              Round block_start,
+                                              std::vector<OutMessage> sends,
+                                              std::size_t span) {
+  const ScheduleRounds sched = TransmissionSchedule(
+      block_start, ldt.level, span == 0 ? ctx.NumNodesKnown() : span);
+  co_return co_await ctx.Awake(sched.side, std::move(sends));
+}
+
+std::vector<OutMessage> ToAllPorts(const NodeContext& ctx, Message msg) {
+  std::vector<OutMessage> sends;
+  sends.reserve(ctx.Degree());
+  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) sends.push_back({p, msg});
+  return sends;
+}
+
+}  // namespace smst

@@ -1,0 +1,95 @@
+// The paper's toolbox (Appendix B): O(1)-awake, O(n)-round procedures on
+// a Forest of Labeled Distance Trees. Every procedure occupies exactly
+// one schedule block (2n+1 rounds); all fragments run the same procedure
+// in the same block, so cross-fragment Side rounds line up globally.
+//
+// Awake costs (asserted by tests):
+//   FragmentBroadcast  <= 2 wakes (1 for root / leaves)
+//   UpcastMin          <= 2 wakes
+//   UpcastSum          <= 2 wakes
+//   TransmitAdjacent   == 1 wake
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "smst/runtime/node.h"
+#include "smst/runtime/task.h"
+#include "smst/sleeping/ldt.h"
+#include "smst/sleeping/schedule.h"
+
+namespace smst {
+
+// Message tags used by the toolbox; algorithms use tags >= 100.
+enum ProcedureTag : std::uint16_t {
+  kTagBroadcast = 1,
+  kTagUpcastMin = 2,
+  kTagUpcastSum = 3,
+  kTagSide = 4,
+  kTagMergeSide = 5,
+  kTagMergeUp = 6,
+  kTagMergeDown = 7,
+};
+
+// Fragment-Broadcast(n): the root's message reaches every fragment node.
+// The root passes its message in `root_msg` (ignored elsewhere); every
+// node returns the broadcast message. Throws if a non-root node hears
+// nothing from its parent (protocol violation).
+// `span` selects the schedule span (0 = the default n); see schedule.h.
+Task<Message> FragmentBroadcast(NodeContext& ctx, const LdtState& ldt,
+                                Round block_start, Message root_msg,
+                                std::size_t span = 0);
+
+// A value offered to / aggregated by Upcast-Min. Ordered by (key, b, c);
+// key == kPlusInfinity means "no value".
+struct UpcastItem {
+  std::uint64_t key = kPlusInfinity;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool Absent() const { return key == kPlusInfinity; }
+  friend bool operator<(const UpcastItem& x, const UpcastItem& y) {
+    if (x.key != y.key) return x.key < y.key;
+    if (x.b != y.b) return x.b < y.b;
+    return x.c < y.c;
+  }
+};
+
+// Upcast-Min(n) (convergecast): the minimum of all offered values reaches
+// the root. Every node returns the minimum over its own subtree (the
+// root's return value is the fragment-wide minimum).
+Task<UpcastItem> UpcastMin(NodeContext& ctx, const LdtState& ldt,
+                           Round block_start, UpcastItem own,
+                           std::size_t span = 0);
+
+struct UpcastSumResult {
+  std::uint64_t subtree_total = 0;  // own contribution + all descendants
+  // (child port, that child's subtree total) in child_ports order; kept
+  // so a later down-pass can split an allotment among subtrees.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> child_totals;
+};
+
+// Sum convergecast (used by Deterministic-MST's incoming-MOE counting).
+// The root's subtree_total is the fragment-wide sum.
+Task<UpcastSumResult> UpcastSum(NodeContext& ctx, const LdtState& ldt,
+                                Round block_start, std::uint64_t own,
+                                std::size_t span = 0);
+
+// Transmit-Adjacent(n): every node is awake in the block's Side round and
+// exchanges messages with simultaneously-awake neighbors. The caller
+// chooses the per-port messages (or none); returns what arrived.
+Task<std::vector<InMessage>> TransmitAdjacent(NodeContext& ctx,
+                                              const LdtState& ldt,
+                                              Round block_start,
+                                              std::vector<OutMessage> sends,
+                                              std::size_t span = 0);
+
+// Convenience: the same message on every port.
+std::vector<OutMessage> ToAllPorts(const NodeContext& ctx, Message msg);
+
+// The message that arrived on `port`, if any.
+std::optional<Message> MessageFromPort(const std::vector<InMessage>& inbox,
+                                       std::uint32_t port);
+
+}  // namespace smst

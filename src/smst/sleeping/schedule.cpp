@@ -1,0 +1,27 @@
+#include "smst/sleeping/schedule.h"
+
+#include <cassert>
+
+namespace smst {
+
+ScheduleRounds TransmissionSchedule(Round block_start, std::uint64_t level,
+                                    std::size_t span) {
+  assert(level < span);
+  const Round s = block_start;
+  const Round nn = static_cast<Round>(span);
+  ScheduleRounds r;
+  r.is_root = level == 0;
+  r.side = s + nn;
+  if (r.is_root) {
+    r.down_send = s;
+    r.up_receive = s + 2 * nn;
+  } else {
+    r.down_receive = s + level - 1;
+    r.down_send = s + level;
+    r.up_receive = s + 2 * nn - level;
+    r.up_send = s + 2 * nn - level + 1;
+  }
+  return r;
+}
+
+}  // namespace smst

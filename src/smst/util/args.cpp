@@ -1,0 +1,85 @@
+#include "smst/util/args.h"
+
+#include <stdexcept>
+
+namespace smst {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("expected --flag, got '" + token + "'");
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" unless the next token is another flag (then it is a
+    // boolean switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  used_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t ArgParser::GetUint(const std::string& name,
+                                 std::uint64_t fallback) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const std::uint64_t v = std::stoull(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("--" + name + " expects true/false");
+}
+
+std::vector<std::string> ArgParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    if (!used_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace smst

@@ -1,0 +1,60 @@
+#include "smst/util/prng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace smst {
+
+std::uint64_t Xoshiro256::NextBelow(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = Next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Xoshiro256 Xoshiro256::Split(std::uint64_t stream_id) const {
+  // Mix current state with the stream id through SplitMix64 so substreams
+  // of the same parent are independent of each other and of the parent.
+  SplitMix64 sm(state_[0] ^ (state_[2] * 0x9e3779b97f4a7c15ULL) ^
+                (stream_id + 0x632be59bd9b4e019ULL));
+  return Xoshiro256(sm.Next());
+}
+
+std::vector<std::uint64_t> SampleDistinct(std::uint64_t lo, std::uint64_t hi,
+                                          std::size_t count, Xoshiro256& rng) {
+  assert(hi >= lo);
+  assert(hi - lo + 1 >= count);
+  // Floyd's algorithm: O(count) expected draws, no rejection blowup even
+  // when count is close to the range size.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(count * 2);
+  const std::uint64_t range = hi - lo;  // inclusive range size - 1
+  for (std::uint64_t j = range - count + 1; j <= range; ++j) {
+    std::uint64_t t = lo + rng.NextBelow(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(lo + j);
+  }
+  std::vector<std::uint64_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> SampleIds(std::size_t n, std::uint64_t max_id,
+                                     Xoshiro256& rng) {
+  assert(max_id >= n);
+  std::vector<std::uint64_t> ids = SampleDistinct(1, max_id, n, rng);
+  Shuffle(ids, rng);
+  return ids;
+}
+
+}  // namespace smst

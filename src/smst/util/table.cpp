@@ -1,0 +1,81 @@
+#include "smst/util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace smst {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::Num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells, bool numeric_align) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      bool right = numeric_align && LooksNumeric(cell);
+      std::size_t pad = width[c] - cell.size();
+      os << ' ';
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_, false);
+  rule();
+  for (const auto& row : rows_) line(row, true);
+  rule();
+}
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace smst

@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer for the paper-style outputs the benches
+// and examples produce. Columns auto-size to contents; numbers are
+// right-aligned, text left-aligned.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smst {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; cells may be fewer than the header (padded empty).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters used by the benches.
+  static std::string Num(std::uint64_t v);
+  static std::string Num(std::int64_t v);
+  static std::string Num(double v, int precision = 3);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smst

@@ -1,0 +1,156 @@
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "smst/graph/graph.h"
+#include "smst/graph/properties.h"
+#include "smst/graph/union_find.h"
+
+namespace smst {
+namespace {
+
+WeightedGraph Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 10).AddEdge(1, 2, 20).AddEdge(2, 0, 30);
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, BuildsTriangle) {
+  auto g = Triangle();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.DegreeOf(0), 2u);
+  EXPECT_EQ(g.DegreeOf(1), 2u);
+  EXPECT_EQ(g.DegreeOf(2), 2u);
+}
+
+TEST(GraphBuilderTest, DefaultIdsAreOneToN) {
+  auto g = Triangle();
+  EXPECT_EQ(g.IdOf(0), 1u);
+  EXPECT_EQ(g.IdOf(2), 3u);
+  EXPECT_EQ(g.MaxId(), 3u);
+  EXPECT_EQ(g.IndexOfId(2), 1u);
+  EXPECT_EQ(g.IndexOfId(99), kInvalidNode);
+}
+
+TEST(GraphBuilderTest, CustomIds) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 5);
+  b.SetIds({7, 3}, 10);
+  auto g = std::move(b).Build();
+  EXPECT_EQ(g.IdOf(0), 7u);
+  EXPECT_EQ(g.MaxId(), 10u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(1, 1, 3), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 2, 3), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateWeight) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 5).AddEdge(1, 2, 5);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsParallelEdge) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 5).AddEdge(1, 0, 6);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsDisconnected) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1).AddEdge(2, 3, 2);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateIds) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1);
+  b.SetIds({4, 4}, 10);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsIdAboveN) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1);
+  b.SetIds({4, 11}, 10);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsZeroId) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1);
+  b.SetIds({0, 1}, 10);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(GraphTest, PortsCoverIncidentEdges) {
+  auto g = Triangle();
+  auto ports = g.PortsOf(1);
+  ASSERT_EQ(ports.size(), 2u);
+  // Port order is edge-insertion order: (0,1) then (1,2).
+  EXPECT_EQ(ports[0].neighbor, 0u);
+  EXPECT_EQ(ports[0].weight, 10u);
+  EXPECT_EQ(ports[1].neighbor, 2u);
+  EXPECT_EQ(ports[1].weight, 20u);
+}
+
+TEST(GraphTest, OtherEndpoint) {
+  auto g = Triangle();
+  EXPECT_EQ(g.OtherEndpoint(0, 0), 1u);
+  EXPECT_EQ(g.OtherEndpoint(0, 1), 0u);
+}
+
+TEST(GraphTest, TotalWeight) {
+  auto g = Triangle();
+  std::vector<EdgeIndex> set{0, 2};
+  EXPECT_EQ(g.TotalWeight(set), 40u);
+}
+
+TEST(PropertiesTest, BfsDistancesOnPath) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 3, 3);
+  auto g = std::move(b).Build();
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Eccentricity(g, 1), 2u);
+  EXPECT_EQ(ExactDiameter(g), 3u);
+  EXPECT_EQ(DoubleSweepDiameterLowerBound(g), 3u);
+}
+
+TEST(PropertiesTest, DiameterOfTriangleIsOne) {
+  EXPECT_EQ(ExactDiameter(Triangle()), 1u);
+}
+
+TEST(PropertiesTest, SpanningTreeDetection) {
+  auto g = Triangle();
+  EXPECT_TRUE(IsSpanningTree(g, {true, true, false}));
+  EXPECT_TRUE(IsSpanningTree(g, {false, true, true}));
+  EXPECT_FALSE(IsSpanningTree(g, {true, true, true}));   // cycle
+  EXPECT_FALSE(IsSpanningTree(g, {true, false, false}));  // too few
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 4u);
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+  uf.Union(2, 3);
+  uf.Union(0, 3);
+  EXPECT_EQ(uf.SizeOf(1), 4u);
+  EXPECT_EQ(uf.NumSets(), 2u);
+}
+
+}  // namespace
+}  // namespace smst

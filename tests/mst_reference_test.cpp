@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/mst_reference.h"
+#include "smst/graph/mst_verify.h"
+#include "smst/graph/properties.h"
+
+namespace smst {
+namespace {
+
+TEST(KruskalTest, HandPickedExample) {
+  // Classic 4-node example; MST = {(0,1,1), (1,2,2), (2,3,3)}.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 3, 3).AddEdge(3, 0, 4)
+      .AddEdge(0, 2, 5);
+  auto g = std::move(b).Build();
+  auto mst = KruskalMst(g);
+  EXPECT_EQ(mst, (std::vector<EdgeIndex>{0, 1, 2}));
+  EXPECT_EQ(g.TotalWeight(mst), 6u);
+}
+
+TEST(KruskalTest, TreeInputReturnsAllEdges) {
+  Xoshiro256 rng(1);
+  auto g = MakeRandomTree(40, rng);
+  auto mst = KruskalMst(g);
+  EXPECT_EQ(mst.size(), 39u);
+}
+
+TEST(KruskalTest, RingDropsHeaviestEdge) {
+  Xoshiro256 rng(2);
+  auto g = MakeRing(12, rng);
+  auto mst = KruskalMst(g);
+  ASSERT_EQ(mst.size(), 11u);
+  Weight heaviest = 0;
+  EdgeIndex heaviest_e = kInvalidEdge;
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    if (g.GetEdge(e).weight > heaviest) {
+      heaviest = g.GetEdge(e).weight;
+      heaviest_e = e;
+    }
+  }
+  for (EdgeIndex e : mst) EXPECT_NE(e, heaviest_e);
+}
+
+class ReferenceAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReferenceAgreementTest, KruskalPrimBoruvkaAgree) {
+  auto [family, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  WeightedGraph g = [&]() -> WeightedGraph {
+    switch (family) {
+      case 0: return MakeErdosRenyi(60, 0.1, rng);
+      case 1: return MakeRing(60, rng);
+      case 2: return MakeComplete(25, rng);
+      case 3: return MakeGrid(6, 10, rng);
+      case 4: return MakeRandomGeometric(60, 0.2, rng);
+      default: return MakeRandomTree(60, rng);
+    }
+  }();
+  auto k = KruskalMst(g);
+  auto p = PrimMst(g);
+  auto bo = BoruvkaMst(g);
+  EXPECT_EQ(k, p);
+  EXPECT_EQ(k, bo);
+  EXPECT_TRUE(IsSpanningTree(g, EdgeMask(g, k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ReferenceAgreementTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(1, 2, 3)));
+
+TEST(VerifyTest, AcceptsTheMst) {
+  Xoshiro256 rng(5);
+  auto g = MakeErdosRenyi(40, 0.15, rng);
+  auto mst = KruskalMst(g);
+  EXPECT_TRUE(VerifyExactMst(g, mst).ok);
+  EXPECT_TRUE(CertifyMstByCycleProperty(g, mst).ok);
+}
+
+TEST(VerifyTest, RejectsWrongEdgeCount) {
+  Xoshiro256 rng(5);
+  auto g = MakeErdosRenyi(40, 0.15, rng);
+  auto mst = KruskalMst(g);
+  mst.pop_back();
+  auto check = VerifyExactMst(g, mst);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.error.empty());
+}
+
+TEST(VerifyTest, RejectsNonMstSpanningTree) {
+  // Swap an MST edge for a heavier non-tree edge that keeps it spanning.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 0, 3);
+  auto g = std::move(b).Build();
+  std::vector<EdgeIndex> not_mst{1, 2};  // (1,2),(2,0) spans, but not MST
+  EXPECT_TRUE(IsSpanningTree(g, EdgeMask(g, not_mst)));
+  EXPECT_FALSE(VerifyExactMst(g, not_mst).ok);
+  EXPECT_FALSE(CertifyMstByCycleProperty(g, not_mst).ok);
+}
+
+TEST(VerifyTest, RejectsCycle) {
+  auto g = [] {
+    GraphBuilder b(3);
+    b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 0, 3);
+    return std::move(b).Build();
+  }();
+  std::vector<EdgeIndex> cycle{0, 1, 2};
+  EXPECT_FALSE(VerifyExactMst(g, cycle).ok);
+}
+
+TEST(EdgeMaskTest, MarksExactlyTheSet) {
+  Xoshiro256 rng(6);
+  auto g = MakeRing(8, rng);
+  auto mask = EdgeMask(g, {1, 3, 5});
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(mask[e], e == 1 || e == 3 || e == 5);
+  }
+}
+
+}  // namespace
+}  // namespace smst

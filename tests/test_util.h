@@ -1,0 +1,11 @@
+// Shared test helpers (thin aliases over the library's forest builder).
+#pragma once
+
+#include "smst/sleeping/forest_builder.h"
+
+namespace smst::testing {
+
+using smst::BuildForest;
+using smst::PortTo;
+
+}  // namespace smst::testing

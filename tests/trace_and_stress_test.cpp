@@ -1,0 +1,137 @@
+// Execution tracing and stress / edge coverage: high-degree nodes (the
+// scheduler's >64-port duplicate-send fallback), larger n, and schedule
+// violation detection.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/mst_reference.h"
+#include "smst/mst/deterministic_mst.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/runtime/simulator.h"
+#include "smst/sleeping/forest_builder.h"
+#include "smst/sleeping/procedures.h"
+
+namespace smst {
+namespace {
+
+Task<void> ChatterNode(NodeContext& ctx) {
+  auto sends = ToAllPorts(ctx, Message{1, ctx.Id(), 0, 0});
+  co_await ctx.Awake(1, std::move(sends));
+  if (ctx.Index() == 0) co_await ctx.Awake(2);  // one lonely wake
+}
+
+TEST(TraceTest, EventsMatchTheRun) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 0, 3);
+  auto g = std::move(b).Build();
+  std::vector<TraceEvent> events;
+  SimulatorOptions opt;
+  opt.trace = [&events](const TraceEvent& e) { events.push_back(e); };
+  Simulator sim(g, opt);
+  sim.Run([](NodeContext& ctx) { return ChatterNode(ctx); });
+
+  ASSERT_EQ(events.size(), 4u);  // 3 nodes in round 1 + node 0 in round 2
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].round, 1u);
+    EXPECT_EQ(events[i].sent, 2u);
+    EXPECT_EQ(events[i].received, 2u);
+    EXPECT_EQ(events[i].dropped, 0u);
+  }
+  EXPECT_EQ(events[3].round, 2u);
+  EXPECT_EQ(events[3].node, 0u);
+  EXPECT_EQ(events[3].sent, 0u);
+  EXPECT_EQ(events[3].received, 0u);
+}
+
+Task<void> SendToSleeperNode(NodeContext& ctx) {
+  if (ctx.Index() == 0) {
+    co_await ctx.Awake(1, OutMessage{0, Message{1, 0, 0, 0}});
+  } else {
+    co_await ctx.Awake(2);
+  }
+}
+
+TEST(TraceTest, DropsAreAttributedToTheSender) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1);
+  auto g = std::move(b).Build();
+  std::vector<TraceEvent> events;
+  SimulatorOptions opt;
+  opt.trace = [&events](const TraceEvent& e) { events.push_back(e); };
+  Simulator sim(g, opt);
+  sim.Run([](NodeContext& ctx) { return SendToSleeperNode(ctx); });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].node, 0u);
+  EXPECT_EQ(events[0].dropped, 1u);
+  EXPECT_EQ(events[1].received, 0u);
+}
+
+TEST(StressTest, HighDegreeNodesUseTheLargePortPath) {
+  // Complete graph on 70 nodes: degree 69 > 64, exercising the
+  // scheduler's vector<bool> duplicate-port fallback.
+  Xoshiro256 rng(1);
+  auto g = MakeComplete(70, rng);
+  auto r = RunRandomizedMst(g, {.seed = 1});
+  EXPECT_EQ(r.tree_edges, KruskalMst(g));
+}
+
+TEST(StressTest, DuplicatePortDetectionOnHighDegreeNode) {
+  Xoshiro256 rng(2);
+  auto g = MakeStar(70, rng);  // center degree 69
+  Simulator sim(g);
+  EXPECT_THROW(sim.Run([](NodeContext& ctx) -> Task<void> {
+                 if (ctx.Degree() > 64) {
+                   std::vector<OutMessage> sends;
+                   sends.push_back({68, Message{1, 0, 0, 0}});
+                   sends.push_back({68, Message{2, 0, 0, 0}});
+                   co_await ctx.Awake(1, std::move(sends));
+                 } else {
+                   co_await ctx.Awake(1);
+                 }
+               }),
+               std::logic_error);
+}
+
+TEST(StressTest, FourThousandNodeRandomizedMst) {
+  Xoshiro256 rng(3);
+  auto g = MakeErdosRenyi(4096, 6.0 / 4096.0, rng);
+  auto r = RunRandomizedMst(g, {.seed = 3});
+  EXPECT_EQ(r.tree_edges, KruskalMst(g));
+  // O(log n): 12-bit n, generous constant.
+  EXPECT_LE(r.stats.max_awake, 40u * 12u);
+}
+
+TEST(StressTest, DeepPathDeterministic) {
+  // Path graphs maximize fragment depth (the schedule's worst case).
+  Xoshiro256 rng(4);
+  auto g = MakePath(200, rng);
+  auto r = RunDeterministicMst(g, {.seed = 4});
+  EXPECT_EQ(r.tree_edges, KruskalMst(g));
+  EXPECT_EQ(r.tree_edges.size(), 199u);  // every path edge
+}
+
+Task<void> BrokenParentBroadcast(NodeContext& ctx,
+                                 std::vector<LdtState>* states) {
+  // The root "forgets" to participate: its child must detect the
+  // protocol violation instead of silently misbehaving.
+  const LdtState& ldt = (*states)[ctx.Index()];
+  if (ldt.IsRoot()) co_return;
+  co_await FragmentBroadcast(ctx, ldt, 1, Message{});
+}
+
+TEST(FailureDetectionTest, SilentParentIsAProtocolError) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1);
+  auto g = std::move(b).Build();
+  auto states = BuildForest(g, {0}, {0});
+  Simulator sim(g);
+  EXPECT_THROW(sim.Run([&states](NodeContext& ctx) {
+                 return BrokenParentBroadcast(ctx, &states);
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smst

@@ -1,0 +1,96 @@
+// Post-construction tree operations: O(1)-awake broadcast / min / sum
+// over the LDT a finished MST run leaves behind.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "smst/apps/tree_ops.h"
+#include "smst/graph/generators.h"
+#include "smst/mst/randomized_mst.h"
+
+namespace smst {
+namespace {
+
+struct Fixture {
+  WeightedGraph g;
+  MstRunResult run;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : g(Make(n, seed)), run(RunRandomizedMst(g, {.seed = seed})) {}
+
+  static WeightedGraph Make(std::size_t n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    return MakeErdosRenyi(n, 6.0 / static_cast<double>(n), rng);
+  }
+};
+
+TEST(TreeOpsTest, BroadcastReachesEveryNode) {
+  Fixture fx(50, 1);
+  TreeOpRequest req;
+  req.kind = TreeOpRequest::Kind::kBroadcast;
+  req.broadcast_value = 123456;
+  auto report = RunTreeOps(fx.g, fx.run, {req});
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  for (auto v : report.outcomes[0].per_node) EXPECT_EQ(v, 123456u);
+  EXPECT_EQ(report.outcomes[0].root_value, 123456u);
+  EXPECT_LE(report.stats.max_awake, 2u);  // O(1) awake, one block
+  EXPECT_EQ(report.stats.dropped_messages, 0u);
+}
+
+TEST(TreeOpsTest, AggregatesMatchSequentialAnswers) {
+  Fixture fx(60, 2);
+  Xoshiro256 rng(99);
+  TreeOpRequest min_req;
+  min_req.kind = TreeOpRequest::Kind::kAggregateMin;
+  TreeOpRequest sum_req;
+  sum_req.kind = TreeOpRequest::Kind::kAggregateSum;
+  for (std::size_t v = 0; v < 60; ++v) {
+    min_req.inputs.push_back(rng.NextInRange(100, 100000));
+    sum_req.inputs.push_back(rng.NextBelow(50));
+  }
+  auto report = RunTreeOps(fx.g, fx.run, {min_req, sum_req});
+  EXPECT_EQ(report.outcomes[0].root_value,
+            *std::min_element(min_req.inputs.begin(), min_req.inputs.end()));
+  EXPECT_EQ(report.outcomes[1].root_value,
+            std::accumulate(sum_req.inputs.begin(), sum_req.inputs.end(),
+                            std::uint64_t{0}));
+}
+
+TEST(TreeOpsTest, BatchOfManyOpsStaysO1AwakePerOp) {
+  Fixture fx(40, 3);
+  std::vector<TreeOpRequest> batch;
+  for (int i = 0; i < 10; ++i) {
+    TreeOpRequest req;
+    req.kind = TreeOpRequest::Kind::kBroadcast;
+    req.broadcast_value = 1000u + i;
+    batch.push_back(req);
+  }
+  auto report = RunTreeOps(fx.g, fx.run, batch);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(report.outcomes[i].root_value, 1000u + i);
+  }
+  EXPECT_LE(report.stats.max_awake, 2u * 10u);
+  // Each op costs one (2n+1)-round block.
+  EXPECT_LE(report.stats.rounds, 10 * (2 * 40 + 1));
+}
+
+TEST(TreeOpsTest, RejectsMismatchedInputs) {
+  Fixture fx(20, 4);
+  TreeOpRequest req;
+  req.kind = TreeOpRequest::Kind::kAggregateSum;
+  req.inputs = {1, 2, 3};  // wrong size
+  EXPECT_THROW(RunTreeOps(fx.g, fx.run, {req}), std::invalid_argument);
+}
+
+TEST(TreeOpsTest, RejectsForeignResult) {
+  Fixture fx(20, 5);
+  Xoshiro256 rng(6);
+  auto other = MakeRing(30, rng);
+  TreeOpRequest req;
+  req.kind = TreeOpRequest::Kind::kBroadcast;
+  EXPECT_THROW(RunTreeOps(other, fx.run, {req}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smst

@@ -1,0 +1,194 @@
+// smst_cli — run any algorithm in the library on any graph family, with
+// verification, energy billing, and an awake histogram.
+//
+//   smst_cli --algo randomized --graph er --n 512 --seed 7
+//   smst_cli --algo deterministic --graph ring --n 128 --max-id 1024
+//   smst_cli --algo logstar --graph grc --rows 4 --cols 64 --energy mote
+//   smst_cli --help
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "smst/energy/energy.h"
+#include "smst/graph/generators.h"
+#include "smst/graph/io.h"
+#include "smst/graph/mst_verify.h"
+#include "smst/graph/properties.h"
+#include "smst/lower_bounds/grc.h"
+#include "smst/mst/api.h"
+#include "smst/util/args.h"
+#include "smst/util/stats.h"
+#include "smst/util/table.h"
+
+namespace {
+
+constexpr const char* kHelp = R"(smst_cli — sleeping-model distributed MST runner
+
+flags:
+  --algo     randomized | deterministic | logstar | ghs | spanning   [randomized]
+  --graph    er | ring | path | grid | geometric | complete | tree |
+             hypercube | caterpillar | lollipop | barbell | grc       [er]
+  --input    load an edge-list file instead of generating (see graph/io.h)
+  --dot      write the graph + tree as Graphviz DOT to this path
+  --adaptive use depth-bounded schedule blocks (randomized engine)
+  --n        node count (family-dependent meaning)                   [256]
+  --p        Erdos-Renyi edge probability (0 = 8/n)                  [0]
+  --radius   geometric radius                                        [0.16]
+  --rows/--cols  G_rc shape                                          [4/64]
+  --max-id   N, the ID range (0 = n)                                 [0]
+  --seed     run & generator seed                                    [1]
+  --paper-phases    use the paper's fixed phase budget (randomized)
+  --energy   off | mote | wifi | ble                                 [off]
+  --quiet    only the summary line
+)";
+
+smst::MstAlgorithm ParseAlgo(const std::string& s) {
+  if (s == "randomized") return smst::MstAlgorithm::kRandomized;
+  if (s == "deterministic") return smst::MstAlgorithm::kDeterministic;
+  if (s == "logstar") return smst::MstAlgorithm::kDeterministicLogStar;
+  if (s == "ghs") return smst::MstAlgorithm::kGhsBaseline;
+  if (s == "spanning") return smst::MstAlgorithm::kBmSpanningTree;
+  throw std::invalid_argument("unknown --algo '" + s + "'");
+}
+
+smst::WeightedGraph MakeGraph(const smst::ArgParser& args,
+                              smst::Xoshiro256& rng) {
+  const std::string family = args.GetString("graph", "er");
+  const std::size_t n = args.GetUint("n", 256);
+  smst::GeneratorOptions opt;
+  opt.max_id = args.GetUint("max-id", 0);
+  if (family == "er") {
+    double p = args.GetDouble("p", 0.0);
+    if (p <= 0.0) p = 8.0 / static_cast<double>(n);
+    return smst::MakeErdosRenyi(n, p, rng, opt);
+  }
+  if (family == "ring") return smst::MakeRing(n, rng, opt);
+  if (family == "path") return smst::MakePath(n, rng, opt);
+  if (family == "grid") {
+    const std::size_t side = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::sqrt(double(n))));
+    return smst::MakeGrid(side, (n + side - 1) / side, rng, opt);
+  }
+  if (family == "geometric") {
+    return smst::MakeRandomGeometric(n, args.GetDouble("radius", 0.16), rng,
+                                     opt);
+  }
+  if (family == "complete") return smst::MakeComplete(n, rng, opt);
+  if (family == "tree") return smst::MakeRandomTree(n, rng, opt);
+  if (family == "hypercube") {
+    std::size_t d = 0;
+    while ((std::size_t{1} << (d + 1)) <= n) ++d;
+    return smst::MakeHypercube(d, rng, opt);
+  }
+  if (family == "caterpillar") return smst::MakeCaterpillar(n / 2, rng, opt);
+  if (family == "lollipop") return smst::MakeLollipop(n, rng, opt);
+  if (family == "barbell") return smst::MakeBarbell(n, rng, opt);
+  if (family == "grc") {
+    auto inst = smst::BuildGrc(args.GetUint("rows", 4),
+                               args.GetUint("cols", 64), rng);
+    return std::move(inst.graph);
+  }
+  throw std::invalid_argument("unknown --graph '" + family + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    smst::ArgParser args(argc, argv);
+    if (args.Has("help")) {
+      std::cout << kHelp;
+      return 0;
+    }
+    const auto algo = ParseAlgo(args.GetString("algo", "randomized"));
+    const std::uint64_t seed = args.GetUint("seed", 1);
+    const bool quiet = args.GetBool("quiet", false);
+    const std::string energy = args.GetString("energy", "off");
+
+    smst::Xoshiro256 rng(seed);
+    const std::string input = args.GetString("input", "");
+    auto g = input.empty() ? MakeGraph(args, rng)
+                           : smst::ReadEdgeListFile(input);
+    const std::string dot_path = args.GetString("dot", "");
+
+    smst::MstOptions opt;
+    opt.seed = seed;
+    opt.adaptive_blocks = args.GetBool("adaptive", false);
+    if (args.GetBool("paper-phases", false)) {
+      opt.termination = smst::TerminationMode::kPaperPhaseCount;
+    }
+    if (auto unused = args.UnusedFlags(); !unused.empty()) {
+      std::cerr << "unknown flag --" << unused.front() << " (see --help)\n";
+      return 2;
+    }
+
+    const auto r = smst::ComputeMst(g, algo, opt);
+    std::string verdict = "spanning tree";
+    if (algo != smst::MstAlgorithm::kBmSpanningTree) {
+      auto check = smst::VerifyExactMst(g, r.tree_edges);
+      verdict = check.ok ? "exact MST (verified)" : "FAILED: " + check.error;
+    }
+
+    std::cout << smst::MstAlgorithmName(algo) << " on n=" << g.NumNodes()
+              << " m=" << g.NumEdges() << " N=" << g.MaxId() << ": " << verdict
+              << " | awake=" << r.stats.max_awake
+              << " rounds=" << r.stats.rounds << " phases=" << r.phases
+              << "\n";
+    if (!quiet) {
+      smst::Table t({"metric", "value"});
+      t.AddRow({"tree weight",
+                smst::Table::Num(g.TotalWeight(r.tree_edges))});
+      t.AddRow({"awake complexity (max)", smst::Table::Num(r.stats.max_awake)});
+      t.AddRow({"awake (node-averaged)",
+                smst::Table::Num(r.stats.avg_awake, 2)});
+      t.AddRow({"round complexity", smst::Table::Num(r.stats.rounds)});
+      t.AddRow({"messages", smst::Table::Num(r.stats.total_messages)});
+      t.AddRow({"bits sent", smst::Table::Num(r.stats.total_bits)});
+      t.AddRow({"largest message (bits)",
+                smst::Table::Num(r.stats.max_message_bits)});
+      t.AddRow({"dropped messages", smst::Table::Num(r.stats.dropped_messages)});
+      std::vector<double> awakes;
+      for (const auto& m : r.node_metrics) {
+        awakes.push_back(static_cast<double>(m.awake_rounds));
+      }
+      const auto s = smst::Summarize(awakes);
+      t.AddRow({"awake per node min/median/max",
+                smst::Table::Num(s.min, 0) + " / " +
+                    smst::Table::Num(s.median, 0) + " / " +
+                    smst::Table::Num(s.max, 0)});
+      t.Print(std::cout);
+    }
+    if (!dot_path.empty()) {
+      std::ofstream dot(dot_path);
+      if (!dot) {
+        std::cerr << "cannot write '" << dot_path << "'\n";
+        return 2;
+      }
+      smst::WriteDot(g, r.tree_edges, dot);
+      std::cout << "wrote " << dot_path << " (render: dot -Tsvg " << dot_path
+                << " -o tree.svg)\n";
+    }
+    if (energy != "off") {
+      smst::EnergyModel model = smst::EnergyModel::SensorMote();
+      if (energy == "wifi") model = smst::EnergyModel::WifiStation();
+      else if (energy == "ble") model = smst::EnergyModel::BleBeacon();
+      else if (energy != "mote") {
+        std::cerr << "unknown --energy '" << energy << "'\n";
+        return 2;
+      }
+      const auto bill = smst::BillRun(r.stats, r.node_metrics, model);
+      std::cout << "energy(" << energy << "): total=" << bill.total
+                << "uJ worst-node=" << bill.max_per_node
+                << "uJ awake-share=" << bill.awake_share
+                << " runs-per-1J-battery="
+                << smst::RunsPerBattery(bill, 1.0) << "\n";
+    }
+    return verdict.rfind("FAILED", 0) == 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
