@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_blocks.dir/bench/bench_adaptive_blocks.cpp.o"
+  "CMakeFiles/bench_adaptive_blocks.dir/bench/bench_adaptive_blocks.cpp.o.d"
+  "bench/bench_adaptive_blocks"
+  "bench/bench_adaptive_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blue_fraction.dir/bench/bench_blue_fraction.cpp.o"
+  "CMakeFiles/bench_blue_fraction.dir/bench/bench_blue_fraction.cpp.o.d"
+  "bench/bench_blue_fraction"
+  "bench/bench_blue_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blue_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diameter_independence.dir/bench/bench_diameter_independence.cpp.o"
+  "CMakeFiles/bench_diameter_independence.dir/bench/bench_diameter_independence.cpp.o.d"
+  "bench/bench_diameter_independence"
+  "bench/bench_diameter_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diameter_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragment_decay.dir/bench/bench_fragment_decay.cpp.o"
+  "CMakeFiles/bench_fragment_decay.dir/bench/bench_fragment_decay.cpp.o.d"
+  "bench/bench_fragment_decay"
+  "bench/bench_fragment_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragment_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

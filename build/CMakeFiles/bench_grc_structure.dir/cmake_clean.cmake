@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grc_structure.dir/bench/bench_grc_structure.cpp.o"
+  "CMakeFiles/bench_grc_structure.dir/bench/bench_grc_structure.cpp.o.d"
+  "bench/bench_grc_structure"
+  "bench/bench_grc_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grc_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

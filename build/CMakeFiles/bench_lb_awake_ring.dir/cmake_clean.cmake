@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_awake_ring.dir/bench/bench_lb_awake_ring.cpp.o"
+  "CMakeFiles/bench_lb_awake_ring.dir/bench/bench_lb_awake_ring.cpp.o.d"
+  "bench/bench_lb_awake_ring"
+  "bench/bench_lb_awake_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_awake_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

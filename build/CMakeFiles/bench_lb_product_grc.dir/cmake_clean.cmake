@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_product_grc.dir/bench/bench_lb_product_grc.cpp.o"
+  "CMakeFiles/bench_lb_product_grc.dir/bench/bench_lb_product_grc.cpp.o.d"
+  "bench/bench_lb_product_grc"
+  "bench/bench_lb_product_grc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_product_grc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

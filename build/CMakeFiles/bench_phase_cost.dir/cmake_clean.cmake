@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_cost.dir/bench/bench_phase_cost.cpp.o"
+  "CMakeFiles/bench_phase_cost.dir/bench/bench_phase_cost.cpp.o.d"
+  "bench/bench_phase_cost"
+  "bench/bench_phase_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_awake.dir/bench/bench_table1_awake.cpp.o"
+  "CMakeFiles/bench_table1_awake.dir/bench/bench_table1_awake.cpp.o.d"
+  "bench/bench_table1_awake"
+  "bench/bench_table1_awake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_awake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

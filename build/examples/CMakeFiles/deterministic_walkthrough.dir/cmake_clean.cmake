@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deterministic_walkthrough.dir/deterministic_walkthrough.cpp.o"
+  "CMakeFiles/deterministic_walkthrough.dir/deterministic_walkthrough.cpp.o.d"
+  "deterministic_walkthrough"
+  "deterministic_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deterministic_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

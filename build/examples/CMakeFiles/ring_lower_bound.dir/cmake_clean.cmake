@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_lower_bound.dir/ring_lower_bound.cpp.o"
+  "CMakeFiles/ring_lower_bound.dir/ring_lower_bound.cpp.o.d"
+  "ring_lower_bound"
+  "ring_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_grc.dir/tradeoff_grc.cpp.o"
+  "CMakeFiles/tradeoff_grc.dir/tradeoff_grc.cpp.o.d"
+  "tradeoff_grc"
+  "tradeoff_grc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_grc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smst/apps/tree_ops.cpp" "src/CMakeFiles/smst.dir/smst/apps/tree_ops.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/apps/tree_ops.cpp.o.d"
+  "/root/repo/src/smst/energy/energy.cpp" "src/CMakeFiles/smst.dir/smst/energy/energy.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/energy/energy.cpp.o.d"
+  "/root/repo/src/smst/graph/generators.cpp" "src/CMakeFiles/smst.dir/smst/graph/generators.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/generators.cpp.o.d"
+  "/root/repo/src/smst/graph/graph.cpp" "src/CMakeFiles/smst.dir/smst/graph/graph.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/graph.cpp.o.d"
+  "/root/repo/src/smst/graph/io.cpp" "src/CMakeFiles/smst.dir/smst/graph/io.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/io.cpp.o.d"
+  "/root/repo/src/smst/graph/mst_reference.cpp" "src/CMakeFiles/smst.dir/smst/graph/mst_reference.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/mst_reference.cpp.o.d"
+  "/root/repo/src/smst/graph/mst_verify.cpp" "src/CMakeFiles/smst.dir/smst/graph/mst_verify.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/mst_verify.cpp.o.d"
+  "/root/repo/src/smst/graph/properties.cpp" "src/CMakeFiles/smst.dir/smst/graph/properties.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/graph/properties.cpp.o.d"
+  "/root/repo/src/smst/lower_bounds/grc.cpp" "src/CMakeFiles/smst.dir/smst/lower_bounds/grc.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/lower_bounds/grc.cpp.o.d"
+  "/root/repo/src/smst/lower_bounds/ring_experiment.cpp" "src/CMakeFiles/smst.dir/smst/lower_bounds/ring_experiment.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/lower_bounds/ring_experiment.cpp.o.d"
+  "/root/repo/src/smst/lower_bounds/set_disjointness.cpp" "src/CMakeFiles/smst.dir/smst/lower_bounds/set_disjointness.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/lower_bounds/set_disjointness.cpp.o.d"
+  "/root/repo/src/smst/mst/api.cpp" "src/CMakeFiles/smst.dir/smst/mst/api.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/api.cpp.o.d"
+  "/root/repo/src/smst/mst/deterministic_mst.cpp" "src/CMakeFiles/smst.dir/smst/mst/deterministic_mst.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/deterministic_mst.cpp.o.d"
+  "/root/repo/src/smst/mst/ghs_congest.cpp" "src/CMakeFiles/smst.dir/smst/mst/ghs_congest.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/ghs_congest.cpp.o.d"
+  "/root/repo/src/smst/mst/randomized_mst.cpp" "src/CMakeFiles/smst.dir/smst/mst/randomized_mst.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/randomized_mst.cpp.o.d"
+  "/root/repo/src/smst/mst/result.cpp" "src/CMakeFiles/smst.dir/smst/mst/result.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/result.cpp.o.d"
+  "/root/repo/src/smst/mst/spanning_tree_bm.cpp" "src/CMakeFiles/smst.dir/smst/mst/spanning_tree_bm.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/mst/spanning_tree_bm.cpp.o.d"
+  "/root/repo/src/smst/runtime/metrics.cpp" "src/CMakeFiles/smst.dir/smst/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/runtime/metrics.cpp.o.d"
+  "/root/repo/src/smst/runtime/scheduler.cpp" "src/CMakeFiles/smst.dir/smst/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/smst/runtime/simulator.cpp" "src/CMakeFiles/smst.dir/smst/runtime/simulator.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/runtime/simulator.cpp.o.d"
+  "/root/repo/src/smst/sleeping/coloring.cpp" "src/CMakeFiles/smst.dir/smst/sleeping/coloring.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/sleeping/coloring.cpp.o.d"
+  "/root/repo/src/smst/sleeping/ldt.cpp" "src/CMakeFiles/smst.dir/smst/sleeping/ldt.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/sleeping/ldt.cpp.o.d"
+  "/root/repo/src/smst/sleeping/merging.cpp" "src/CMakeFiles/smst.dir/smst/sleeping/merging.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/sleeping/merging.cpp.o.d"
+  "/root/repo/src/smst/sleeping/procedures.cpp" "src/CMakeFiles/smst.dir/smst/sleeping/procedures.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/sleeping/procedures.cpp.o.d"
+  "/root/repo/src/smst/sleeping/schedule.cpp" "src/CMakeFiles/smst.dir/smst/sleeping/schedule.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/sleeping/schedule.cpp.o.d"
+  "/root/repo/src/smst/util/args.cpp" "src/CMakeFiles/smst.dir/smst/util/args.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/util/args.cpp.o.d"
+  "/root/repo/src/smst/util/fit.cpp" "src/CMakeFiles/smst.dir/smst/util/fit.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/util/fit.cpp.o.d"
+  "/root/repo/src/smst/util/prng.cpp" "src/CMakeFiles/smst.dir/smst/util/prng.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/util/prng.cpp.o.d"
+  "/root/repo/src/smst/util/stats.cpp" "src/CMakeFiles/smst.dir/smst/util/stats.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/util/stats.cpp.o.d"
+  "/root/repo/src/smst/util/table.cpp" "src/CMakeFiles/smst.dir/smst/util/table.cpp.o" "gcc" "src/CMakeFiles/smst.dir/smst/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_blocks_test.dir/adaptive_blocks_test.cpp.o"
+  "CMakeFiles/adaptive_blocks_test.dir/adaptive_blocks_test.cpp.o.d"
+  "adaptive_blocks_test"
+  "adaptive_blocks_test.pdb"
+  "adaptive_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

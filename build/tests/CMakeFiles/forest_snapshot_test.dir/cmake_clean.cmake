@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_snapshot_test.dir/forest_snapshot_test.cpp.o"
+  "CMakeFiles/forest_snapshot_test.dir/forest_snapshot_test.cpp.o.d"
+  "forest_snapshot_test"
+  "forest_snapshot_test.pdb"
+  "forest_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

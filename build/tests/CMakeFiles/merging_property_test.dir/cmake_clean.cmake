@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merging_property_test.dir/merging_property_test.cpp.o"
+  "CMakeFiles/merging_property_test.dir/merging_property_test.cpp.o.d"
+  "merging_property_test"
+  "merging_property_test.pdb"
+  "merging_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merging_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

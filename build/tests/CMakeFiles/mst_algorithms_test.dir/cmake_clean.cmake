@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_algorithms_test.dir/mst_algorithms_test.cpp.o"
+  "CMakeFiles/mst_algorithms_test.dir/mst_algorithms_test.cpp.o.d"
+  "mst_algorithms_test"
+  "mst_algorithms_test.pdb"
+  "mst_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

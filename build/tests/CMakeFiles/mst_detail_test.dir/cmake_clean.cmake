@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_detail_test.dir/mst_detail_test.cpp.o"
+  "CMakeFiles/mst_detail_test.dir/mst_detail_test.cpp.o.d"
+  "mst_detail_test"
+  "mst_detail_test.pdb"
+  "mst_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_reference_test.dir/mst_reference_test.cpp.o"
+  "CMakeFiles/mst_reference_test.dir/mst_reference_test.cpp.o.d"
+  "mst_reference_test"
+  "mst_reference_test.pdb"
+  "mst_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

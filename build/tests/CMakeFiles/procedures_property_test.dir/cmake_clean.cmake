@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedures_property_test.dir/procedures_property_test.cpp.o"
+  "CMakeFiles/procedures_property_test.dir/procedures_property_test.cpp.o.d"
+  "procedures_property_test"
+  "procedures_property_test.pdb"
+  "procedures_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedures_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sleeping_test.dir/sleeping_test.cpp.o"
+  "CMakeFiles/sleeping_test.dir/sleeping_test.cpp.o.d"
+  "sleeping_test"
+  "sleeping_test.pdb"
+  "sleeping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sleeping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_ops_test.dir/tree_ops_test.cpp.o"
+  "CMakeFiles/tree_ops_test.dir/tree_ops_test.cpp.o.d"
+  "tree_ops_test"
+  "tree_ops_test.pdb"
+  "tree_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/mst_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/sleeping_test[1]_include.cmake")
+include("/root/repo/build/tests/mst_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/coloring_logstar_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/util_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/merging_property_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_and_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/mst_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/procedures_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_ops_test[1]_include.cmake")

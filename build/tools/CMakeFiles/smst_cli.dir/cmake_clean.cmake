@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smst_cli.dir/smst_cli.cpp.o"
+  "CMakeFiles/smst_cli.dir/smst_cli.cpp.o.d"
+  "smst_cli"
+  "smst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
