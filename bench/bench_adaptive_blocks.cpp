@@ -9,36 +9,53 @@
 // rounds each). The asymptotic class stays O(n log n): the paper's
 // round-complexity claim is robust to this optimization.
 #include <iostream>
+#include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
 #include "smst/mst/randomized_mst.h"
 #include "smst/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("adaptive_blocks", argc, argv);
   std::cout << "== ablation: fixed 2n+1 blocks vs adaptive depth-bounded "
                "blocks (Randomized-MST) ==\n\n";
-  smst::Table t({"n", "rounds (fixed)", "rounds (adaptive)", "speedup",
-                 "awake (both)", "same tree?"});
-  for (std::size_t n : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+  const std::vector<std::size_t> sizes{128, 256, 512, 1024, 2048, 4096};
+  std::vector<smst::MstRunResult> fixed_runs(sizes.size());
+  std::vector<smst::MstRunResult> adaptive_runs(sizes.size());
+  h.Runner().ForEach(sizes.size(), [&](std::size_t i) {
+    const std::size_t n = sizes[i];
     smst::Xoshiro256 rng(n);
     auto g = smst::MakeErdosRenyi(n, 8.0 / double(n), rng);
     smst::MstOptions fixed;
     fixed.seed = 3;
     smst::MstOptions adaptive = fixed;
     adaptive.adaptive_blocks = true;
-    auto a = smst::RunRandomizedMst(g, fixed);
-    auto b = smst::RunRandomizedMst(g, adaptive);
+    fixed_runs[i] = smst::RunRandomizedMst(g, fixed);
+    adaptive_runs[i] = smst::RunRandomizedMst(g, adaptive);
+  });
+
+  smst::Table t({"n", "rounds (fixed)", "rounds (adaptive)", "speedup",
+                 "awake (both)", "same tree?"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& a = fixed_runs[i];
+    const auto& b = adaptive_runs[i];
     if (a.stats.max_awake != b.stats.max_awake) {
       std::cerr << "awake mismatch!\n";
       return 1;
     }
-    t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
+    t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(sizes[i])),
               smst::Table::Num(a.stats.rounds),
               smst::Table::Num(b.stats.rounds),
               smst::Table::Num(double(a.stats.rounds) / double(b.stats.rounds),
                                2),
               smst::Table::Num(a.stats.max_awake),
               a.tree_edges == b.tree_edges ? "yes" : "NO"});
+    h.JsonRecord("run",
+                 "\"n\":" + std::to_string(sizes[i]) +
+                     ",\"rounds_fixed\":" + std::to_string(a.stats.rounds) +
+                     ",\"rounds_adaptive\":" + std::to_string(b.stats.rounds) +
+                     ",\"max_awake\":" + std::to_string(a.stats.max_awake));
   }
   t.Print(std::cout);
   std::cout << "\nExpected: identical trees and awake complexity, with a "

@@ -6,14 +6,16 @@
 // model can never beat D, but the sleeping algorithms' awake complexity
 // stays flat at O(log n) regardless of D.
 #include <iostream>
+#include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
 #include "smst/graph/mst_verify.h"
 #include "smst/graph/properties.h"
-#include "smst/mst/api.h"
 #include "smst/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("diameter_independence", argc, argv);
   std::cout << "== D-indep: awake complexity is diameter-independent "
                "(bypassing the Omega(D) round bound) ==\n\n";
   const std::size_t n = 256;
@@ -23,6 +25,8 @@ int main() {
     const char* name;
     smst::WeightedGraph g;
   };
+  // Built serially from one generator stream (the stream order is part of
+  // the fixture); only the runs fan out across threads.
   std::vector<Family> families;
   families.push_back({"complete", smst::MakeComplete(64, rng)});  // D=1
   families.push_back({"hypercube(8)", smst::MakeHypercube(8, rng)});
@@ -31,14 +35,20 @@ int main() {
   families.push_back({"caterpillar", smst::MakeCaterpillar(n / 2, rng)});
   families.push_back({"path", smst::MakePath(n, rng)});  // D=n-1
 
+  std::vector<smst::RunSpec> specs;
+  for (const auto& fam : families) {
+    specs.push_back({&fam.g, smst::MstAlgorithm::kRandomized, {.seed = 11}});
+    specs.push_back(
+        {&fam.g, smst::MstAlgorithm::kDeterministic, {.seed = 11}});
+  }
+  const auto runs = h.Runner().RunAll(specs);
+
   smst::Table t({"family", "n", "diameter D", "awake (randomized)",
                  "awake (deterministic)", "rounds (randomized)"});
-  for (auto& fam : families) {
-    const auto d = smst::ExactDiameter(fam.g);
-    auto rnd = smst::ComputeMst(fam.g, smst::MstAlgorithm::kRandomized,
-                                {.seed = 11});
-    auto det = smst::ComputeMst(fam.g, smst::MstAlgorithm::kDeterministic,
-                                {.seed = 11});
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto& fam = families[i];
+    const auto& rnd = runs[2 * i];
+    const auto& det = runs[2 * i + 1];
     for (const auto* r : {&rnd, &det}) {
       auto check = smst::VerifyExactMst(fam.g, r->tree_edges);
       if (!check.ok) {
@@ -47,12 +57,22 @@ int main() {
         return 1;
       }
     }
+    const auto d = smst::ExactDiameter(fam.g);
     t.AddRow({fam.name,
               smst::Table::Num(static_cast<std::uint64_t>(fam.g.NumNodes())),
               smst::Table::Num(static_cast<std::uint64_t>(d)),
               smst::Table::Num(rnd.stats.max_awake),
               smst::Table::Num(det.stats.max_awake),
               smst::Table::Num(rnd.stats.rounds)});
+    h.JsonRecord("run", "\"family\":" + smst::bench::JsonStr(fam.name) +
+                            ",\"n\":" + std::to_string(fam.g.NumNodes()) +
+                            ",\"diameter\":" + std::to_string(d) +
+                            ",\"awake_randomized\":" +
+                            std::to_string(rnd.stats.max_awake) +
+                            ",\"awake_deterministic\":" +
+                            std::to_string(det.stats.max_awake) +
+                            ",\"rounds_randomized\":" +
+                            std::to_string(rnd.stats.rounds));
   }
   t.Print(std::cout);
   std::cout << "\nExpected: D spans 1 to n-1 (~250x) while both awake "

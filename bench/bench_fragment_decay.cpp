@@ -10,23 +10,32 @@
 #include <iostream>
 #include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
 #include "smst/mst/randomized_mst.h"
 #include "smst/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("fragment_decay", argc, argv);
   std::cout << "== L1-decay: Lemma 1 — fragments shrink by >= 4/3 per phase "
                "(expectation) ==\n\n";
-  constexpr int kSeeds = 20;
+  const std::uint64_t seeds = h.Seeds(20);
   const std::size_t n = 512;
+
+  auto sweep = h.Sweep(
+      smst::MstAlgorithm::kRandomized, {n}, seeds,
+      [](std::size_t nodes, std::uint64_t seed) {
+        smst::Xoshiro256 rng(seed);
+        return smst::MakeErdosRenyi(nodes, 8.0 / static_cast<double>(nodes),
+                                    rng);
+      },
+      {}, false);
 
   std::vector<double> frag_sum;  // mean fragments at phase p
   std::vector<int> samples;
   double phases_sum = 0;
-  for (int seed = 1; seed <= kSeeds; ++seed) {
-    smst::Xoshiro256 rng(seed);
-    auto g = smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
-    auto r = smst::RunRandomizedMst(g, {.seed = static_cast<std::uint64_t>(seed)});
+  for (const auto& cell : sweep.cells) {
+    const auto& r = cell.run;
     phases_sum += static_cast<double>(r.phases);
     for (std::uint64_t p = 1; p <= r.phases; ++p) {
       if (frag_sum.size() < p) {
@@ -53,9 +62,10 @@ int main() {
   t.Print(std::cout);
 
   const double budget = smst::RandomizedPaperPhaseCount(n);
-  std::cout << "\nmean phases to termination: " << phases_sum / kSeeds
+  std::cout << "\nmean phases to termination: "
+            << phases_sum / static_cast<double>(seeds)
             << "   paper budget 4*ceil(log_{4/3} n)+1 = " << budget
-            << "   (n = " << n << ", " << kSeeds << " seeds)\n"
+            << "   (n = " << n << ", " << seeds << " seeds)\n"
             << "Expected: the measured survival ratio hovers right at the "
                "3/4 expectation bound — Lemma 1's analysis\nis tight "
                "(variance lets late, small-sample phases wiggle around it) "

@@ -4,44 +4,32 @@
 // complexity O(log n); the traditional model forces awake = rounds
 // (Theta(n log n) for GHS). We sweep n, report the measured worst-case
 // and node-averaged awake rounds for every algorithm, and fit the
-// scaling shape.
+// scaling shape. Cells run in parallel (see --threads); results are
+// identical to the old serial loop.
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
-#include "smst/graph/mst_verify.h"
-#include "smst/mst/api.h"
 #include "smst/util/fit.h"
 #include "smst/util/table.h"
 
-namespace {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("table1_awake", argc, argv);
+  const std::uint64_t seeds = h.Seeds(3);
 
-constexpr int kSeeds = 3;
-
-smst::MstRunResult RunOnce(const smst::WeightedGraph& g,
-                           smst::MstAlgorithm a, std::uint64_t seed) {
-  auto r = smst::ComputeMst(g, a, {.seed = seed});
-  if (a != smst::MstAlgorithm::kBmSpanningTree) {
-    auto check = smst::VerifyExactMst(g, r.tree_edges);
-    if (!check.ok) {
-      std::cerr << "VERIFICATION FAILED (" << smst::MstAlgorithmName(a)
-                << "): " << check.error << "\n";
-      std::exit(1);
-    }
-  }
-  return r;
-}
-
-}  // namespace
-
-int main() {
   std::cout << "== T1-awake: Table 1 'Awake Time' — awake complexity vs n ==\n"
             << "graphs: Erdos-Renyi with average degree 8 (connected), mean over "
-            << kSeeds << " seeds\n\n";
+            << seeds << " seeds, " << h.Threads() << " threads\n\n";
 
   const std::vector<std::size_t> sizes_fast{64, 128, 256, 512, 1024, 2048};
   const std::vector<std::size_t> sizes_det{32, 64, 128, 256, 512};
+
+  const auto er8 = [](std::size_t n, std::uint64_t seed) {
+    smst::Xoshiro256 rng(n * 31 + seed);
+    return smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
+  };
 
   struct Algo {
     smst::MstAlgorithm a;
@@ -59,28 +47,19 @@ int main() {
   };
 
   for (const Algo& algo : algos) {
+    const bool verify = algo.a != smst::MstAlgorithm::kBmSpanningTree;
+    auto sweep = h.Sweep(algo.a, *algo.sizes, seeds, er8, {}, verify);
+
     smst::Table t({"n", "awake max", "awake avg", "awake/log2(n)", "phases"});
     std::vector<double> xs, ys;
-    for (std::size_t n : *algo.sizes) {
-      double max_awake = 0, avg_awake = 0, phases = 0;
-      for (int s = 1; s <= kSeeds; ++s) {
-        smst::Xoshiro256 rng(n * 31 + s);
-        auto g = smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
-        auto r = RunOnce(g, algo.a, s);
-        max_awake += static_cast<double>(r.stats.max_awake);
-        avg_awake += r.stats.avg_awake;
-        phases += static_cast<double>(r.phases);
-      }
-      max_awake /= kSeeds;
-      avg_awake /= kSeeds;
-      phases /= kSeeds;
-      xs.push_back(static_cast<double>(n));
-      ys.push_back(max_awake);
-      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
-                smst::Table::Num(max_awake, 1),
-                smst::Table::Num(avg_awake, 1),
-                smst::Table::Num(max_awake / std::log2(double(n)), 2),
-                smst::Table::Num(phases, 1)});
+    for (const auto& agg : sweep.by_n) {
+      xs.push_back(static_cast<double>(agg.n));
+      ys.push_back(agg.max_awake);
+      t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(agg.n)),
+                smst::Table::Num(agg.max_awake, 1),
+                smst::Table::Num(agg.avg_awake, 1),
+                smst::Table::Num(agg.max_awake / std::log2(double(agg.n)), 2),
+                smst::Table::Num(agg.phases, 1)});
     }
     std::cout << "-- " << smst::MstAlgorithmName(algo.a)
               << "   (paper: " << algo.paper << ")\n";

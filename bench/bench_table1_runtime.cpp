@@ -8,17 +8,22 @@
 #include <iostream>
 #include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
-#include "smst/mst/api.h"
 #include "smst/util/fit.h"
 #include "smst/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("table1_runtime", argc, argv);
   std::cout << "== T1-runtime: Table 1 'Run Time' — round complexity ==\n\n";
 
   // --- Part A: rounds vs n (N = n) ------------------------------------
   {
     std::cout << "-- A: rounds vs n (Erdos-Renyi avg degree 8, N = n)\n";
+    const auto er8 = [](std::size_t n, std::uint64_t /*seed*/) {
+      smst::Xoshiro256 rng(n * 17 + 1);
+      return smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
+    };
     struct Algo {
       smst::MstAlgorithm a;
       std::vector<std::size_t> sizes;
@@ -33,20 +38,18 @@ int main() {
          "O(n log n log* n)"},
     };
     for (const auto& algo : algos) {
+      auto sweep = h.Sweep(algo.a, algo.sizes, 1, er8, {}, false);
       smst::Table t({"n", "rounds", "rounds/(n log2 n)", "phases"});
       std::vector<double> xs, ys;
-      for (std::size_t n : algo.sizes) {
-        smst::Xoshiro256 rng(n * 17 + 1);
-        auto g = smst::MakeErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
-        auto r = smst::ComputeMst(g, algo.a, {.seed = 1});
-        xs.push_back(static_cast<double>(n));
-        ys.push_back(static_cast<double>(r.stats.rounds));
-        t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)),
-                  smst::Table::Num(r.stats.rounds),
-                  smst::Table::Num(static_cast<double>(r.stats.rounds) /
-                                       (double(n) * std::log2(double(n))),
+      for (const auto& agg : sweep.by_n) {
+        xs.push_back(static_cast<double>(agg.n));
+        ys.push_back(agg.rounds);
+        t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(agg.n)),
+                  smst::Table::Num(agg.rounds, 0),
+                  smst::Table::Num(agg.rounds / (double(agg.n) *
+                                                 std::log2(double(agg.n))),
                                    1),
-                  smst::Table::Num(r.phases)});
+                  smst::Table::Num(agg.phases, 0)});
       }
       std::cout << smst::MstAlgorithmName(algo.a) << "   (paper: "
                 << algo.paper << ")\n";
@@ -63,25 +66,37 @@ int main() {
               << "Fast-Awake-Coloring sweeps one stage per possible ID, so\n"
               << "rounds grow linearly in N; the Corollary-1 log* variant\n"
               << "does not depend on N at all.\n";
+    const std::vector<smst::NodeId> id_ranges{64, 128, 256, 512, 1024, 2048};
+    // Paired (FastAwake, log*) runs per N, farmed out via the runner.
+    std::vector<smst::MstRunResult> fast(id_ranges.size());
+    std::vector<smst::MstRunResult> star(id_ranges.size());
+    h.Runner().ForEach(id_ranges.size(), [&](std::size_t i) {
+      smst::Xoshiro256 rng(77);  // same seed: identical topology & weights
+      smst::GeneratorOptions gopt;
+      gopt.max_id = id_ranges[i];
+      auto g = smst::MakeErdosRenyi(64, 0.12, rng, gopt);
+      fast[i] = smst::ComputeMst(g, smst::MstAlgorithm::kDeterministic,
+                                 {.seed = 1});
+      star[i] = smst::ComputeMst(
+          g, smst::MstAlgorithm::kDeterministicLogStar, {.seed = 1});
+    });
     smst::Table t({"N", "rounds (FastAwake)", "rounds/N", "rounds (log*)",
                    "awake (FastAwake)", "awake (log*)"});
     std::vector<double> xs, ys;
-    for (smst::NodeId N : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-      smst::Xoshiro256 rng(77);  // same seed: identical topology & weights
-      smst::GeneratorOptions gopt;
-      gopt.max_id = N;
-      auto g = smst::MakeErdosRenyi(64, 0.12, rng, gopt);
-      auto fast = smst::ComputeMst(g, smst::MstAlgorithm::kDeterministic,
-                                   {.seed = 1});
-      auto star = smst::ComputeMst(
-          g, smst::MstAlgorithm::kDeterministicLogStar, {.seed = 1});
+    for (std::size_t i = 0; i < id_ranges.size(); ++i) {
+      const smst::NodeId N = id_ranges[i];
       xs.push_back(static_cast<double>(N));
-      ys.push_back(static_cast<double>(fast.stats.rounds));
-      t.AddRow({smst::Table::Num(N), smst::Table::Num(fast.stats.rounds),
-                smst::Table::Num(double(fast.stats.rounds) / double(N), 1),
-                smst::Table::Num(star.stats.rounds),
-                smst::Table::Num(fast.stats.max_awake),
-                smst::Table::Num(star.stats.max_awake)});
+      ys.push_back(static_cast<double>(fast[i].stats.rounds));
+      t.AddRow({smst::Table::Num(N), smst::Table::Num(fast[i].stats.rounds),
+                smst::Table::Num(double(fast[i].stats.rounds) / double(N), 1),
+                smst::Table::Num(star[i].stats.rounds),
+                smst::Table::Num(fast[i].stats.max_awake),
+                smst::Table::Num(star[i].stats.max_awake)});
+      h.JsonRecord("run", "\"part\":\"B\",\"N\":" + std::to_string(N) +
+                              ",\"rounds_fastawake\":" +
+                              std::to_string(fast[i].stats.rounds) +
+                              ",\"rounds_logstar\":" +
+                              std::to_string(star[i].stats.rounds));
     }
     t.Print(std::cout);
     auto fits = smst::FitAll(xs, ys, smst::StandardModels());

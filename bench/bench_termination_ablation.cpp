@@ -7,30 +7,43 @@
 // inflates the round count by the unused phases — drastically so for
 // the deterministic algorithm, whose budget constant is ~240000 phases.
 #include <iostream>
+#include <vector>
 
+#include "harness.h"
 #include "smst/graph/generators.h"
 #include "smst/mst/deterministic_mst.h"
 #include "smst/mst/randomized_mst.h"
 #include "smst/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smst::bench::Harness h("termination_ablation", argc, argv);
   std::cout << "== ablation: EarlyDetect termination vs the paper's fixed "
                "phase budget ==\n\n";
 
   {
     std::cout << "-- Randomized-MST (budget = 4*ceil(log_{4/3} n) + 1)\n";
-    smst::Table t({"n", "mode", "phases (active)", "phase budget", "rounds",
-                   "awake", "same tree?"});
-    for (std::size_t n : {64u, 256u, 1024u}) {
+    const std::vector<std::size_t> sizes{64, 256, 1024};
+    // One paired (early, paper-budget) cell per n, run across the pool.
+    std::vector<smst::MstRunResult> early_runs(sizes.size());
+    std::vector<smst::MstRunResult> paper_runs(sizes.size());
+    h.Runner().ForEach(sizes.size(), [&](std::size_t i) {
+      const std::size_t n = sizes[i];
       smst::Xoshiro256 rng(n);
       auto g = smst::MakeErdosRenyi(n, 8.0 / double(n), rng);
       smst::MstOptions early;
       early.seed = 3;
-      auto a = smst::RunRandomizedMst(g, early);
+      early_runs[i] = smst::RunRandomizedMst(g, early);
       smst::MstOptions paper;
       paper.seed = 3;
       paper.termination = smst::TerminationMode::kPaperPhaseCount;
-      auto b = smst::RunRandomizedMst(g, paper);
+      paper_runs[i] = smst::RunRandomizedMst(g, paper);
+    });
+    smst::Table t({"n", "mode", "phases (active)", "phase budget", "rounds",
+                   "awake", "same tree?"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t n = sizes[i];
+      const auto& a = early_runs[i];
+      const auto& b = paper_runs[i];
       const char* same = a.tree_edges == b.tree_edges ? "yes" : "NO";
       t.AddRow({smst::Table::Num(static_cast<std::uint64_t>(n)), "early",
                 smst::Table::Num(a.phases), "-",

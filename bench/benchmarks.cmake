@@ -1,6 +1,12 @@
 # Bench binaries. Included from the top-level CMakeLists (not
 # add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains only the
 # produced executables and `for b in build/bench/*; do $b; done` works.
+
+# Shared sweep harness (flag parsing, parallel execution, JSON records).
+add_library(bench_harness STATIC ${CMAKE_SOURCE_DIR}/bench/harness.cpp)
+target_link_libraries(bench_harness PUBLIC smst::smst)
+target_include_directories(bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+
 set(SMST_BENCHES
   bench_table1_awake.cpp
   bench_table1_runtime.cpp
@@ -20,7 +26,8 @@ set(SMST_BENCHES
 foreach(src ${SMST_BENCHES})
   get_filename_component(name ${src} NAME_WE)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${src})
-  target_link_libraries(${name} PRIVATE smst::smst benchmark::benchmark)
+  target_link_libraries(${name} PRIVATE bench_harness smst::smst
+                                        benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()

@@ -1,0 +1,144 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "smst/graph/mst_verify.h"
+#include "smst/util/args.h"
+
+namespace smst::bench {
+
+std::string JsonNum(double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Harness::Harness(std::string experiment, int argc, char** argv)
+    : experiment_(std::move(experiment)) {
+  ArgParser args(argc, argv);
+  runner_ = ParallelRunner(static_cast<unsigned>(args.GetUint("threads", 0)));
+  seeds_override_ = args.GetUint("seeds", 0);
+  const std::string json_path = args.GetString("json", "");
+  if (!json_path.empty()) {
+    json_.open(json_path);
+    if (!json_) {
+      // Bad user input, not a bug: exit cleanly instead of letting the
+      // exception abort the bench with a terminate() backtrace.
+      std::cerr << "error: cannot write --json file '" << json_path << "'\n";
+      std::exit(2);
+    }
+  }
+  if (auto unused = args.UnusedFlags(); !unused.empty()) {
+    std::cerr << "note: ignoring unknown flag --" << unused.front()
+              << " (harness flags: --threads N, --seeds K, --json PATH)\n";
+  }
+}
+
+Harness::~Harness() = default;
+
+void Harness::JsonRecord(const std::string& record_type,
+                         const std::string& fields) {
+  if (!json_.is_open()) return;
+  json_ << "{\"experiment\":" << JsonStr(experiment_)
+        << ",\"record\":" << JsonStr(record_type) << "," << fields << "}\n";
+}
+
+SweepOutput Harness::Sweep(MstAlgorithm algo,
+                           const std::vector<std::size_t>& sizes,
+                           std::uint64_t seeds, const GraphFactory& factory,
+                           const MstOptions& base, bool verify) {
+  SweepOutput out;
+  out.cells.resize(sizes.size() * seeds);
+
+  // Workers fill disjoint cells; graphs are built inside the cell so
+  // generation parallelizes too. Everything a cell computes depends only
+  // on (n, seed), so the result set is independent of thread count.
+  runner_.ForEach(out.cells.size(), [&](std::size_t i) {
+    const std::size_t n = sizes[i / seeds];
+    const std::uint64_t seed = 1 + i % seeds;
+    const WeightedGraph g = factory(n, seed);
+    MstOptions options = base;
+    options.seed = seed;
+    MstRunResult run = ComputeMst(g, algo, options);
+    if (verify) {
+      auto check = VerifyExactMst(g, run.tree_edges);
+      if (!check.ok) {
+        throw std::runtime_error(std::string("MST verification failed (") +
+                                 MstAlgorithmName(algo) +
+                                 ", n=" + std::to_string(n) +
+                                 ", seed=" + std::to_string(seed) +
+                                 "): " + check.error);
+      }
+    }
+    out.cells[i] = SweepCell{n, seed, std::move(run)};
+  });
+
+  const std::string algo_field = "\"algo\":" + JsonStr(MstAlgorithmName(algo));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    SweepAggregate agg;
+    agg.n = sizes[i];
+    agg.runs = seeds;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const SweepCell& cell = out.cells[i * seeds + s];
+      const RunStats& st = cell.run.stats;
+      agg.max_awake += static_cast<double>(st.max_awake);
+      agg.avg_awake += st.avg_awake;
+      agg.rounds += static_cast<double>(st.rounds);
+      agg.messages += static_cast<double>(st.total_messages);
+      agg.bits += static_cast<double>(st.total_bits);
+      agg.dropped += static_cast<double>(st.dropped_messages);
+      agg.phases += static_cast<double>(cell.run.phases);
+      JsonRecord(
+          "run",
+          algo_field + ",\"n\":" + std::to_string(cell.n) +
+              ",\"seed\":" + std::to_string(cell.seed) +
+              ",\"max_awake\":" + std::to_string(st.max_awake) +
+              ",\"avg_awake\":" + JsonNum(st.avg_awake) +
+              ",\"rounds\":" + std::to_string(st.rounds) +
+              ",\"messages\":" + std::to_string(st.total_messages) +
+              ",\"bits\":" + std::to_string(st.total_bits) +
+              ",\"dropped\":" + std::to_string(st.dropped_messages) +
+              ",\"phases\":" + std::to_string(cell.run.phases));
+    }
+    const double k = static_cast<double>(seeds);
+    agg.max_awake /= k;
+    agg.avg_awake /= k;
+    agg.rounds /= k;
+    agg.messages /= k;
+    agg.bits /= k;
+    agg.dropped /= k;
+    agg.phases /= k;
+    JsonRecord("aggregate",
+               algo_field + ",\"n\":" + std::to_string(agg.n) +
+                   ",\"runs\":" + std::to_string(agg.runs) +
+                   ",\"max_awake\":" + JsonNum(agg.max_awake) +
+                   ",\"avg_awake\":" + JsonNum(agg.avg_awake) +
+                   ",\"rounds\":" + JsonNum(agg.rounds) +
+                   ",\"messages\":" + JsonNum(agg.messages) +
+                   ",\"bits\":" + JsonNum(agg.bits) +
+                   ",\"dropped\":" + JsonNum(agg.dropped) +
+                   ",\"phases\":" + JsonNum(agg.phases));
+    out.by_n.push_back(agg);
+  }
+  return out;
+}
+
+}  // namespace smst::bench

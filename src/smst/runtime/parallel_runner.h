@@ -1,0 +1,61 @@
+// Thread-pool batch execution of independent simulator runs.
+//
+// Every empirical claim in this reproduction is a sweep over
+// (algorithm × graph × seed) cells, and each cell runs on its own
+// Simulator with its own Metrics and seeded RNG streams — there is no
+// shared mutable state between runs, so a sweep is embarrassingly
+// parallel. ParallelRunner::RunAll executes a vector of RunSpec jobs on
+// a pool of worker threads and returns the results in submission order,
+// bit-identical to running the same specs in a serial loop (pinned by
+// parallel_runner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/mst/api.h"
+#include "smst/mst/options.h"
+#include "smst/mst/result.h"
+
+namespace smst {
+
+// One sweep cell. The graph is borrowed and must outlive the batch;
+// sharing one graph across many seeds is the common case and is safe
+// because simulations only read it.
+struct RunSpec {
+  const WeightedGraph* graph = nullptr;
+  MstAlgorithm algorithm = MstAlgorithm::kRandomized;
+  MstOptions options;
+  // Convenience: if nonzero, overrides options.seed for this run.
+  std::uint64_t seed = 0;
+};
+
+class ParallelRunner {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ParallelRunner(unsigned threads = 0);
+
+  unsigned Threads() const { return threads_; }
+
+  // Runs ComputeMst for every spec and returns the results indexed like
+  // `specs`. Worker assignment is dynamic (an atomic cursor), which does
+  // not affect results: output order is by submission index and each
+  // run's randomness is derived only from its own seed. If jobs throw,
+  // every job still gets a worker (failures don't starve the rest) and
+  // the failure of the smallest submission index is rethrown after all
+  // workers drain — the same failure a serial loop would surface first.
+  std::vector<MstRunResult> RunAll(const std::vector<RunSpec>& specs) const;
+
+  // The generic core: invokes fn(i) for i in [0, count) across the pool.
+  // Used by RunAll and by bench harnesses whose per-cell work is more
+  // than one ComputeMst call (verification, paired ablation runs, ...).
+  void ForEach(std::size_t count,
+               const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace smst

@@ -1,5 +1,6 @@
 #include "smst/runtime/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
 #include <stdexcept>
@@ -52,36 +53,71 @@ void Scheduler::Register(PendingWake* wake) {
       else seen_large[out.port] = true;
     }
   }
-  queue_[wake->round].push_back(wake);
+  if (open_bucket_ != kNoBucket && open_round_ == wake->round) {
+    buckets_[open_bucket_].push_back(wake);
+    return;
+  }
+  std::uint32_t b;
+  if (!free_buckets_.empty()) {
+    b = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    b = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  buckets_[b].push_back(wake);
+  heap_.push_back(QueueEntry{wake->round, next_seq_++, b});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  open_round_ = wake->round;
+  open_bucket_ = b;
 }
 
 void Scheduler::RunUntilIdle() {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    const Round r = it->first;
+  while (!heap_.empty()) {
+    const Round r = heap_.front().round;
     if (r > max_rounds_) {
       throw std::runtime_error("round watchdog tripped at round " +
                                std::to_string(r) + " (max " +
                                std::to_string(max_rounds_) + ")");
     }
-    std::vector<PendingWake*> wakers = std::move(it->second);
-    queue_.erase(it);
-    RunRound(r, std::move(wakers));
+    // Stage every bucket of round r; resumed coroutines push only
+    // strictly later rounds (Register enforces it), so the heap front is
+    // stable until RunRound returns.
+    round_wakers_.clear();
+    while (!heap_.empty() && heap_.front().round == r) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      std::vector<PendingWake*>& bucket = buckets_[heap_.back().bucket];
+      round_wakers_.insert(round_wakers_.end(), bucket.begin(), bucket.end());
+      bucket.clear();  // keeps capacity for reuse
+      if (open_bucket_ == heap_.back().bucket) open_bucket_ = kNoBucket;
+      free_buckets_.push_back(heap_.back().bucket);
+      heap_.pop_back();
+    }
+    RunRound(r);
   }
 }
 
-void Scheduler::RunRound(Round r, std::vector<PendingWake*> wakers) {
+void Scheduler::RunRound(Round r) {
   current_round_ = r;
   metrics_.SetLastRound(r);
 
-  for (PendingWake* w : wakers) {
-    assert(awake_now_[w->node] == nullptr && "node awake twice in a round");
+  for (PendingWake* w : round_wakers_) {
+    if (awake_now_[w->node] != nullptr) {
+      // Two live PendingWakes for one node would silently clobber each
+      // other's delivery state; only direct Register misuse can get here
+      // (a coroutine is suspended while its wake is queued), but fail
+      // loudly in every build type rather than corrupt the run.
+      throw std::logic_error("node " + std::to_string(w->node) +
+                             " registered awake twice in round " +
+                             std::to_string(r));
+    }
     awake_now_[w->node] = w;
   }
 
   // Delivery: same-round send/receive between simultaneously awake
   // endpoints; messages to sleepers are lost (and counted).
-  std::vector<std::uint32_t> drops_this_round(trace_ ? wakers.size() : 0, 0);
+  std::vector<PendingWake*>& wakers = round_wakers_;
+  round_drops_.assign(trace_ ? wakers.size() : 0, 0);
   for (std::size_t wi = 0; wi < wakers.size(); ++wi) {
     PendingWake* w = wakers[wi];
     NodeMetrics& nm = metrics_.Node(w->node);
@@ -94,7 +130,7 @@ void Scheduler::RunRound(Round r, std::vector<PendingWake*> wakers) {
       PendingWake* target = awake_now_[port.neighbor];
       if (target == nullptr) {
         ++nm.messages_dropped;
-        if (trace_) ++drops_this_round[wi];
+        if (trace_) ++round_drops_[wi];
         continue;
       }
       // The receiving side identifies the sender by its own port number
@@ -119,7 +155,7 @@ void Scheduler::RunRound(Round r, std::vector<PendingWake*> wakers) {
       trace_(TraceEvent{r, w->node,
                         static_cast<std::uint32_t>(w->sends.size()),
                         static_cast<std::uint32_t>(w->inbox.size()),
-                        drops_this_round[wi]});
+                        round_drops_[wi]});
     }
     auto handle = std::coroutine_handle<>::from_address(w->handle_address);
     // After resume(), `w` may be a dangling pointer (the coroutine frame

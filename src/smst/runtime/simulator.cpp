@@ -39,13 +39,19 @@ void Simulator::Run(const NodeProgram& program) {
 
   scheduler_.RunUntilIdle();
 
+  // Rethrow failures before the never-finished check: a node that threw
+  // (e.g. Scheduler::Register rejecting a bad wake from inside the Awake
+  // suspend path) is the root cause, and peers it stranded mid-protocol
+  // must not mask it with the generic error below.
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    runners_[v].RethrowIfFailed();
+  }
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     if (!runners_[v].Done()) {
       throw std::runtime_error(
           "node " + std::to_string(v) +
           " never finished (suspended with an empty wake queue)");
     }
-    runners_[v].RethrowIfFailed();
   }
 }
 

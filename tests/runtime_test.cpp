@@ -1,5 +1,6 @@
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -182,6 +183,115 @@ TEST(SimulatorTest, AwakeRoundsMustStrictlyIncrease) {
   EXPECT_THROW(
       sim.Run([](NodeContext& ctx) { return NonMonotoneAwake(ctx); }),
       std::logic_error);
+}
+
+// ------------------------------------------ scheduler failure surfacing --
+// Scheduler::Register throws from inside the Awake awaitable's
+// await_suspend; the standard resumes the coroutine and propagates the
+// exception from the co_await, so it must land in the task's promise and
+// surface via TaskRunner::RethrowIfFailed — never std::terminate, and
+// never masked by a peer's generic "never finished" error.
+
+TEST(SchedulerTest, DuplicateWakeRegistrationThrowsInEveryBuildType) {
+  // Only direct Register misuse can double-book a node (a coroutine is
+  // suspended while its wake is queued), but before this was a throw it
+  // was a debug-only assert: release builds silently clobbered
+  // delivery state. Pin the loud failure.
+  auto g = TwoNodes();
+  Metrics metrics(g.NumNodes());
+  Scheduler sched(g, metrics, /*max_rounds=*/100);
+  PendingWake first{0, 1, {}, {}, nullptr};
+  PendingWake second{0, 1, {}, {}, nullptr};
+  sched.Register(&first);
+  sched.Register(&second);
+  try {
+    sched.RunUntilIdle();
+    FAIL() << "duplicate wake did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("awake twice"), std::string::npos)
+        << e.what();
+  }
+}
+
+Task<int> NestedBadRound(NodeContext& ctx) {
+  co_await ctx.Awake(3);
+  co_await ctx.Awake(2);  // rejected by Register mid-run, two frames deep
+  co_return 0;            // unreachable
+}
+
+Task<void> NestedBadRoundProgram(NodeContext& ctx) {
+  // The bad Awake sits inside a child task: the Register exception must
+  // ride the symmetric-transfer chain through the parent frame.
+  (void)co_await NestedBadRound(ctx);
+}
+
+TEST(SimulatorTest, BadRoundRequestSurfacesThroughNestedTasks) {
+  auto g = TwoNodes();
+  Simulator sim(g);
+  try {
+    sim.Run([](NodeContext& ctx) { return NestedBadRoundProgram(ctx); });
+    FAIL() << "bad round request did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("requested awake round"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+Task<int> NestedDoubleSend(NodeContext& ctx) {
+  std::vector<OutMessage> sends;
+  sends.push_back({0, Message{1, 0, 0, 0}});
+  sends.push_back({0, Message{2, 0, 0, 0}});
+  co_await ctx.Awake(1, std::move(sends));
+  co_return 0;
+}
+
+Task<void> NestedDoubleSendProgram(NodeContext& ctx) {
+  (void)co_await NestedDoubleSend(ctx);
+}
+
+TEST(SimulatorTest, DoubleSendOnPortSurfacesThroughNestedTasks) {
+  auto g = TwoNodes();
+  Simulator sim(g);
+  try {
+    sim.Run([](NodeContext& ctx) { return NestedDoubleSendProgram(ctx); });
+    FAIL() << "double send did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("two messages on one port"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+Task<void> FailOrFinish(NodeContext& ctx, std::vector<int>* finished) {
+  if (ctx.Index() == 1) {
+    co_await ctx.Awake(2);
+    co_await ctx.Awake(1);  // bad: thrown while the scheduler resumes us
+  } else {
+    // The peer keeps running past the failure round and completes.
+    co_await ctx.Awake(1);
+    co_await ctx.Awake(4);
+    (*finished)[ctx.Index()] = 1;
+  }
+}
+
+TEST(SimulatorTest, MidRunRegisterFailureDoesNotStrandPeers) {
+  auto g = TwoNodes();
+  std::vector<int> finished(2, 0);
+  Simulator sim(g);
+  try {
+    sim.Run([&finished](NodeContext& ctx) {
+      return FailOrFinish(ctx, &finished);
+    });
+    FAIL() << "expected the node-1 failure to surface";
+  } catch (const std::logic_error& e) {
+    // The root cause (node 1's bad round request), not a generic
+    // "never finished" for a peer, and the peer still ran to completion.
+    EXPECT_NE(std::string(e.what()).find("requested awake round"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(finished[0], 1);
 }
 
 Task<void> Runaway(NodeContext& ctx) {

@@ -4,11 +4,14 @@
 //   smst_cli --algo randomized --graph er --n 512 --seed 7
 //   smst_cli --algo deterministic --graph ring --n 128 --max-id 1024
 //   smst_cli --algo logstar --graph grc --rows 4 --cols 64 --energy mote
+//   smst_cli --algo randomized --n 1024 --seeds 16 --threads 8
 //   smst_cli --help
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <stdexcept>
+#include <vector>
 
 #include <fstream>
 
@@ -19,6 +22,7 @@
 #include "smst/graph/properties.h"
 #include "smst/lower_bounds/grc.h"
 #include "smst/mst/api.h"
+#include "smst/runtime/parallel_runner.h"
 #include "smst/util/args.h"
 #include "smst/util/stats.h"
 #include "smst/util/table.h"
@@ -40,6 +44,8 @@ flags:
   --rows/--cols  G_rc shape                                          [4/64]
   --max-id   N, the ID range (0 = n)                                 [0]
   --seed     run & generator seed                                    [1]
+  --seeds    run K seeded runs (seed .. seed+K-1) on the same graph  [1]
+  --threads  worker threads for multi-seed runs (0 = all cores)      [0]
   --paper-phases    use the paper's fixed phase budget (randomized)
   --energy   off | mote | wifi | ble                                 [off]
   --quiet    only the summary line
@@ -120,9 +126,56 @@ int main(int argc, char** argv) {
     if (args.GetBool("paper-phases", false)) {
       opt.termination = smst::TerminationMode::kPaperPhaseCount;
     }
+    const std::uint64_t num_seeds = args.GetUint("seeds", 1);
+    const auto threads = static_cast<unsigned>(args.GetUint("threads", 0));
     if (auto unused = args.UnusedFlags(); !unused.empty()) {
       std::cerr << "unknown flag --" << unused.front() << " (see --help)\n";
       return 2;
+    }
+
+    if (num_seeds > 1) {
+      // Multi-seed sweep: the same graph under seeds seed..seed+K-1, run
+      // across the thread pool; per-seed rows plus a mean/worst summary.
+      std::vector<smst::RunSpec> specs(num_seeds);
+      for (std::uint64_t s = 0; s < num_seeds; ++s) {
+        specs[s] = smst::RunSpec{&g, algo, opt, seed + s};
+      }
+      smst::ParallelRunner runner(threads);
+      const auto runs = runner.RunAll(specs);
+
+      smst::Table t({"seed", "awake max", "awake avg", "rounds", "messages",
+                     "phases", "verdict"});
+      double awake_sum = 0, rounds_sum = 0;
+      std::uint64_t awake_worst = 0;
+      bool all_ok = true;
+      for (std::uint64_t s = 0; s < num_seeds; ++s) {
+        const auto& r = runs[s];
+        std::string verdict = "spanning tree";
+        if (algo != smst::MstAlgorithm::kBmSpanningTree) {
+          auto check = smst::VerifyExactMst(g, r.tree_edges);
+          verdict = check.ok ? "exact MST" : "FAILED: " + check.error;
+          all_ok = all_ok && check.ok;
+        }
+        awake_sum += static_cast<double>(r.stats.max_awake);
+        rounds_sum += static_cast<double>(r.stats.rounds);
+        awake_worst = std::max(awake_worst, r.stats.max_awake);
+        t.AddRow({smst::Table::Num(seed + s),
+                  smst::Table::Num(r.stats.max_awake),
+                  smst::Table::Num(r.stats.avg_awake, 2),
+                  smst::Table::Num(r.stats.rounds),
+                  smst::Table::Num(r.stats.total_messages),
+                  smst::Table::Num(r.phases), verdict});
+      }
+      std::cout << smst::MstAlgorithmName(algo) << " on n=" << g.NumNodes()
+                << " m=" << g.NumEdges() << " N=" << g.MaxId() << ": "
+                << num_seeds << " seeded runs on " << runner.Threads()
+                << " threads\n";
+      if (!quiet) t.Print(std::cout);
+      std::cout << "mean awake=" << awake_sum / double(num_seeds)
+                << " worst awake=" << awake_worst
+                << " mean rounds=" << rounds_sum / double(num_seeds)
+                << (all_ok ? "" : "  [VERIFICATION FAILURES]") << "\n";
+      return all_ok ? 0 : 1;
     }
 
     const auto r = smst::ComputeMst(g, algo, opt);
