@@ -1,0 +1,26 @@
+#include "alloc_count.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::uint64_t t_alloc_count = 0;
+
+}  // namespace
+
+namespace smst::bench {
+
+std::uint64_t AllocCount() noexcept { return t_alloc_count; }
+
+}  // namespace smst::bench
+
+// The array and nothrow forms default to forwarding here, so replacing
+// the two ordinary functions covers them as well.
+void* operator new(std::size_t n) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }

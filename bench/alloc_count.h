@@ -1,0 +1,25 @@
+// Allocation counter for the bench binaries.
+//
+// Linking bench_harness replaces the global operator new/delete with
+// counting versions (alloc_count.cpp), so every bench can report
+// allocations-per-awake-round alongside wall-clock numbers. The counter
+// is thread_local: under the parallel sweep runner each cell executes
+// wholly on one worker thread, so a before/after difference taken
+// inside the cell body is exact for that cell, unpolluted by whatever
+// the other workers allocate concurrently.
+//
+// Only the ordinary (throwing, unaligned) allocation functions are
+// replaced; over-aligned allocations keep the default implementation
+// and are not counted. Nothing in the measured hot paths is
+// over-aligned, so the count is complete where it matters.
+#pragma once
+
+#include <cstdint>
+
+namespace smst::bench {
+
+// Number of ordinary operator-new calls made by the calling thread
+// since it started. Monotonic; meaningful only as a difference.
+std::uint64_t AllocCount() noexcept;
+
+}  // namespace smst::bench

@@ -4,6 +4,7 @@
 // of simulation costs), not paper claims.
 #include <benchmark/benchmark.h>
 
+#include "alloc_count.h"
 #include "smst/graph/generators.h"
 #include "smst/graph/mst_reference.h"
 #include "smst/mst/randomized_mst.h"
@@ -55,7 +56,7 @@ BENCHMARK(BM_GenerateErdosRenyi)->Arg(256)->Arg(1024);
 
 Task<void> PingNode(NodeContext& ctx, int rounds) {
   for (int r = 1; r <= rounds; ++r) {
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
       sends.push_back({p, Message{1, ctx.Id(), 0, 0}});
     }
@@ -64,15 +65,25 @@ Task<void> PingNode(NodeContext& ctx, int rounds) {
 }
 
 // Round-engine throughput: every node awake and chattering every round.
+// The allocs_per_node_round counter pins the zero-allocation steady
+// state as a reported number (0 after the first iteration's warm-up;
+// the counter includes that warm-up, so expect ~0, not exactly 0).
 void BM_SimulatorDenseRounds(benchmark::State& state) {
   Xoshiro256 rng(1);
   auto g = MakeRing(static_cast<std::size_t>(state.range(0)), rng);
   constexpr int kRounds = 64;
+  const std::uint64_t allocs_before = bench::AllocCount();
   for (auto _ : state) {
     Simulator sim(g);
     sim.Run([](NodeContext& ctx) { return PingNode(ctx, kRounds); });
     benchmark::DoNotOptimize(sim.Stats());
   }
+  const auto allocs =
+      static_cast<double>(bench::AllocCount() - allocs_before);
+  const auto node_rounds =
+      static_cast<double>(state.iterations() * state.range(0) * kRounds);
+  state.counters["allocs_per_node_round"] =
+      benchmark::Counter(node_rounds == 0 ? 0.0 : allocs / node_rounds);
   state.SetItemsProcessed(state.iterations() * state.range(0) * kRounds);
 }
 BENCHMARK(BM_SimulatorDenseRounds)->Arg(64)->Arg(512);
@@ -104,9 +115,17 @@ void BM_RandomizedMstEndToEnd(benchmark::State& state) {
   Xoshiro256 rng(1);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto g = MakeErdosRenyi(n, 8.0 / double(n), rng);
+  double awake_rounds = 0;
+  const std::uint64_t allocs_before = bench::AllocCount();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunRandomizedMst(g, {.seed = 1}));
+    auto res = RunRandomizedMst(g, {.seed = 1});
+    awake_rounds += static_cast<double>(res.stats.awake_node_rounds);
+    benchmark::DoNotOptimize(res);
   }
+  const auto allocs =
+      static_cast<double>(bench::AllocCount() - allocs_before);
+  state.counters["allocs_per_awake_round"] =
+      benchmark::Counter(awake_rounds == 0 ? 0.0 : allocs / awake_rounds);
 }
 BENCHMARK(BM_RandomizedMstEndToEnd)->Arg(128)->Arg(512);
 

@@ -3,7 +3,13 @@
 # produced executables and `for b in build/bench/*; do $b; done` works.
 
 # Shared sweep harness (flag parsing, parallel execution, JSON records).
-add_library(bench_harness STATIC ${CMAKE_SOURCE_DIR}/bench/harness.cpp)
+# alloc_count.cpp replaces the global operator new/delete with counting
+# versions; it lives here — and only here — so every bench binary gets
+# exactly one definition (defining it per-binary would collide with the
+# harness at link time).
+add_library(bench_harness STATIC
+  ${CMAKE_SOURCE_DIR}/bench/harness.cpp
+  ${CMAKE_SOURCE_DIR}/bench/alloc_count.cpp)
 target_link_libraries(bench_harness PUBLIC smst::smst)
 target_include_directories(bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "alloc_count.h"
 #include "smst/graph/mst_verify.h"
 #include "smst/util/args.h"
 
@@ -77,7 +78,13 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
     const WeightedGraph g = factory(n, seed);
     MstOptions options = base;
     options.seed = seed;
+    // Each cell runs wholly on this worker thread, so the thread-local
+    // counter difference is exactly this run's allocations. Graph
+    // generation (above) and verification (below) are excluded: the
+    // budget under regression watch is the simulated run's.
+    const std::uint64_t allocs_before = AllocCount();
     MstRunResult run = ComputeMst(g, algo, options);
+    const std::uint64_t allocs = AllocCount() - allocs_before;
     if (verify) {
       auto check = VerifyExactMst(g, run.tree_edges);
       if (!check.ok) {
@@ -88,7 +95,7 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
                                  "): " + check.error);
       }
     }
-    out.cells[i] = SweepCell{n, seed, std::move(run)};
+    out.cells[i] = SweepCell{n, seed, allocs, std::move(run)};
   });
 
   const std::string algo_field = "\"algo\":" + JsonStr(MstAlgorithmName(algo));
@@ -96,6 +103,7 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
     SweepAggregate agg;
     agg.n = sizes[i];
     agg.runs = seeds;
+    double awake_round_sum = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
       const SweepCell& cell = out.cells[i * seeds + s];
       const RunStats& st = cell.run.stats;
@@ -106,6 +114,13 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
       agg.bits += static_cast<double>(st.total_bits);
       agg.dropped += static_cast<double>(st.dropped_messages);
       agg.phases += static_cast<double>(cell.run.phases);
+      agg.allocs += static_cast<double>(cell.allocs);
+      awake_round_sum += static_cast<double>(st.awake_node_rounds);
+      const double cell_apar =
+          st.awake_node_rounds == 0
+              ? 0.0
+              : static_cast<double>(cell.allocs) /
+                    static_cast<double>(st.awake_node_rounds);
       JsonRecord(
           "run",
           algo_field + ",\"n\":" + std::to_string(cell.n) +
@@ -116,9 +131,13 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
               ",\"messages\":" + std::to_string(st.total_messages) +
               ",\"bits\":" + std::to_string(st.total_bits) +
               ",\"dropped\":" + std::to_string(st.dropped_messages) +
-              ",\"phases\":" + std::to_string(cell.run.phases));
+              ",\"phases\":" + std::to_string(cell.run.phases) +
+              ",\"allocs\":" + std::to_string(cell.allocs) +
+              ",\"allocs_per_awake_round\":" + JsonNum(cell_apar));
     }
     const double k = static_cast<double>(seeds);
+    agg.allocs_per_awake_round =
+        awake_round_sum == 0 ? 0.0 : agg.allocs / awake_round_sum;
     agg.max_awake /= k;
     agg.avg_awake /= k;
     agg.rounds /= k;
@@ -126,6 +145,7 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
     agg.bits /= k;
     agg.dropped /= k;
     agg.phases /= k;
+    agg.allocs /= k;
     JsonRecord("aggregate",
                algo_field + ",\"n\":" + std::to_string(agg.n) +
                    ",\"runs\":" + std::to_string(agg.runs) +
@@ -135,7 +155,10 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
                    ",\"messages\":" + JsonNum(agg.messages) +
                    ",\"bits\":" + JsonNum(agg.bits) +
                    ",\"dropped\":" + JsonNum(agg.dropped) +
-                   ",\"phases\":" + JsonNum(agg.phases));
+                   ",\"phases\":" + JsonNum(agg.phases) +
+                   ",\"allocs\":" + JsonNum(agg.allocs) +
+                   ",\"allocs_per_awake_round\":" +
+                   JsonNum(agg.allocs_per_awake_round));
     out.by_n.push_back(agg);
   }
   return out;

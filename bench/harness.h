@@ -38,6 +38,11 @@ using GraphFactory =
 struct SweepCell {
   std::size_t n = 0;
   std::uint64_t seed = 0;
+  // Heap allocations made by the MST run itself (graph generation and
+  // verification excluded), measured with the thread-local counter in
+  // alloc_count.h. The awake hot path is designed to be allocation-free,
+  // so this stays near the per-run setup cost.
+  std::uint64_t allocs = 0;
   MstRunResult run;
 };
 
@@ -52,6 +57,10 @@ struct SweepAggregate {
   double bits = 0;
   double dropped = 0;
   double phases = 0;
+  double allocs = 0;
+  // Seed-summed allocations over seed-summed awake node-rounds: the
+  // regression-pinned "allocations per awake node-round" number.
+  double allocs_per_awake_round = 0;
 };
 
 struct SweepOutput {

@@ -110,7 +110,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
     // ---- step (i) continued: sparsify incoming MOEs to at most 3 -----
     // B4: announce our MOE weight; detect INCOMING-MOEs on our ports (a
     // neighbor's announced weight equals the shared edge's weight).
-    std::vector<std::uint32_t> incoming_ports;
+    SmallVec<std::uint32_t, 8> incoming_ports;  // inline for typical degrees
     {
       auto inbox = co_await TransmitAdjacent(
           ctx, ldt, cursor.TakeBlock(),
@@ -134,7 +134,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
 
     // B6: the root allots at most 3 tokens; each node selects its own
     // incoming edges (lightest first) and splits the rest by subtree.
-    std::vector<std::uint32_t> valid_incoming;
+    SmallVec<std::uint32_t, 8> valid_incoming;  // at most 3 selected
     {
       const Round block = cursor.TakeBlock();
       const auto sched = TransmissionSchedule(block, ldt.level, n);
@@ -153,7 +153,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
         valid_incoming.push_back(p);
         --allot;
       }
-      std::vector<OutMessage> sends;
+      SendBatch sends;
       for (const auto& [child_port, child_total] : counts.child_totals) {
         const std::uint64_t give = std::min(allot, child_total);
         allot -= give;
@@ -171,7 +171,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
         detail::PortOfOutgoingWeight(ctx, ldt, nbr_frag, moe_weight);
     bool out_valid = false;
     {
-      std::vector<OutMessage> sends;
+      SendBatch sends;
       for (std::uint32_t p : incoming_ports) {
         const bool selected =
             std::find(valid_incoming.begin(), valid_incoming.end(), p) !=

@@ -83,6 +83,9 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
   LdtState ldt = LdtState::Singleton(ctx.Id());
   std::vector<bool>& mark = sh->port_marks[ctx.Index()];
   std::vector<NodeId> nbr_frag(ctx.Degree(), 0);
+  // Reused across phases (assign keeps the capacity) so the per-phase
+  // steady state stays allocation-free.
+  std::vector<bool> nbr_tails(ctx.Degree(), false);
   BlockCursor cursor(1, n);
 
   bool finished = false;
@@ -148,7 +151,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
     }
 
     // B4: exchange (MOE weight, coin) with adjacent fragments.
-    std::vector<bool> nbr_tails(ctx.Degree(), false);
+    nbr_tails.assign(ctx.Degree(), false);
     {
       auto inbox = co_await TransmitAdjacent(
           ctx, ldt, cursor.TakeBlock(),

@@ -1,0 +1,81 @@
+#include "smst/runtime/frame_pool.h"
+
+#include <new>
+
+namespace smst {
+
+namespace {
+
+// Frames are rounded up to 64-byte size classes; anything above 8 KiB
+// bypasses the pool. The largest frame in this codebase today is the
+// randomized-MST NodeMain at ~4.7 KiB (inline message batches make
+// frames wide), so the cap leaves roughly 2x headroom.
+constexpr std::size_t kGranularity = 64;
+constexpr std::size_t kMaxPooledBytes = 8192;
+constexpr std::size_t kNumBuckets = kMaxPooledBytes / kGranularity;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+// One arena per thread; see frame_pool.h for the threading rationale.
+// The destructor runs at thread exit and releases every pooled block,
+// so long-lived processes that churn worker threads do not accrete
+// dead arenas.
+struct Arena {
+  FreeBlock* heads[kNumBuckets] = {};
+  FramePoolStats stats;
+
+  ~Arena() {
+    for (FreeBlock* head : heads) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+};
+
+thread_local Arena t_arena;
+
+constexpr std::size_t BucketOf(std::size_t bytes) {
+  return (bytes + kGranularity - 1) / kGranularity - 1;
+}
+
+}  // namespace
+
+void* FrameAllocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes <= kMaxPooledBytes) {
+    Arena& a = t_arena;
+    const std::size_t b = BucketOf(bytes);
+    if (FreeBlock* block = a.heads[b]) {
+      a.heads[b] = block->next;
+      ++a.stats.pool_hits;
+      return block;
+    }
+    ++a.stats.fresh_blocks;
+    return ::operator new((b + 1) * kGranularity);
+  }
+  ++t_arena.stats.oversized;
+  return ::operator new(bytes);
+}
+
+void FrameDeallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes <= kMaxPooledBytes) {
+    Arena& a = t_arena;
+    const std::size_t b = BucketOf(bytes);
+    FreeBlock* block = static_cast<FreeBlock*>(p);
+    block->next = a.heads[b];
+    a.heads[b] = block;
+    return;
+  }
+  ::operator delete(p);
+}
+
+FramePoolStats GetFramePoolStats() { return t_arena.stats; }
+
+}  // namespace smst

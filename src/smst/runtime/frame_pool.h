@@ -1,0 +1,52 @@
+// Size-bucketed recycling pool for coroutine frames.
+//
+// Every `co_await`ed sub-procedure (Task<T>) allocates one coroutine
+// frame; a single MST run performs millions of such awaits, and the
+// frames come in a handful of distinct sizes (one per coroutine
+// function). This pool intercepts Task's promise-level operator
+// new/delete and recycles freed frames through per-size free lists, so
+// after a brief warm-up the steady-state awake path performs zero heap
+// allocations for frames.
+//
+// Threading design (deliberate, verified by the TSan CI job's
+// oversubscribed parallel-runner sweep): the arena is *thread-local*.
+// Each worker thread of the parallel runner owns a private set of free
+// lists and never touches another thread's, so there is no
+// synchronization on the hot path and no false sharing between workers.
+// A frame freed on a different thread than the one that allocated it is
+// simply recycled into the *freeing* thread's arena — correct, because
+// blocks carry no owner; in practice this never happens, since a
+// Simulator runs entirely on one thread. Pooled blocks are returned to
+// the system when their thread exits.
+//
+// Build the library with -DSMST_NO_FRAME_POOL (CMake option
+// SMST_NO_FRAME_POOL) to bypass the pool entirely: frames then go
+// straight to global operator new/delete, which is what you want when
+// hunting leaks or use-after-free on coroutine frames with
+// ASan/Valgrind, since pooling otherwise masks both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smst {
+
+// Allocates a frame of `bytes` bytes (pool fast path for small frames,
+// global operator new beyond the pooled size range).
+void* FrameAllocate(std::size_t bytes);
+
+// Returns a frame previously obtained from FrameAllocate. `bytes` must
+// be the allocation size (coroutine deallocation is sized, so the
+// bucket is recomputed instead of stored per block).
+void FrameDeallocate(void* p, std::size_t bytes) noexcept;
+
+// Introspection for tests and benches: counters for the calling
+// thread's arena only.
+struct FramePoolStats {
+  std::uint64_t pool_hits = 0;     // served from a free list
+  std::uint64_t fresh_blocks = 0;  // pooled size class, new block
+  std::uint64_t oversized = 0;     // larger than any bucket
+};
+FramePoolStats GetFramePoolStats();
+
+}  // namespace smst

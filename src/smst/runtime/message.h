@@ -8,7 +8,10 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+
+#include "smst/util/small_vec.h"
 
 namespace smst {
 
@@ -49,5 +52,13 @@ struct InMessage {
   std::uint32_t port = 0;
   Message msg;
 };
+
+// Per-awake message batches. Typical degrees in the model workloads are
+// small, so batches of up to kInlineMessageCapacity messages live inside
+// the coroutine frame and never touch the heap; larger batches (high-
+// degree nodes) fall back to a heap buffer transparently.
+inline constexpr std::size_t kInlineMessageCapacity = 4;
+using SendBatch = SmallVec<OutMessage, kInlineMessageCapacity>;
+using InboxBatch = SmallVec<InMessage, kInlineMessageCapacity>;
 
 }  // namespace smst

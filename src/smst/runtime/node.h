@@ -5,7 +5,7 @@
 // weights (by port), the round clock, and a private randomness source —
 // plus the single model primitive:
 //
-//   std::vector<InMessage> received =
+//   InboxBatch received =
 //       co_await ctx.Awake(round, {{port, msg}, ...});
 //
 // "Be asleep until `round`, be awake in `round`, send these messages, and
@@ -64,12 +64,15 @@ class NodeContext {
       wake.handle_address = h.address();
       ctx->scheduler_.Register(&wake);
     }
-    std::vector<InMessage> await_resume() { return std::move(wake.inbox); }
+    InboxBatch await_resume() { return std::move(wake.inbox); }
   };
 
   // Be awake in absolute round `round` (strictly after the current round)
-  // and send `sends` (at most one message per port).
-  AwakeAwaiter Awake(Round round, std::vector<OutMessage> sends = {}) {
+  // and send `sends` (at most one message per port). The batches are
+  // SmallVecs (message.h): up to kInlineMessageCapacity sends/receipts
+  // stay inside the coroutine frame, so a typical awake allocates
+  // nothing.
+  AwakeAwaiter Awake(Round round, SendBatch sends = {}) {
     return AwakeAwaiter{
         this, PendingWake{index_, round, std::move(sends), {}, nullptr}};
   }
@@ -78,7 +81,7 @@ class NodeContext {
   // initializer-list inside a co_await expression fails to compile:
   // "array used as initializer", GCC PR 102489.)
   AwakeAwaiter Awake(Round round, OutMessage send) {
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     sends.push_back(std::move(send));
     return Awake(round, std::move(sends));
   }

@@ -14,14 +14,37 @@ Scheduler::Scheduler(const WeightedGraph& graph, Metrics& metrics,
       metrics_(metrics),
       max_rounds_(max_rounds),
       awake_now_(graph.NumNodes(), nullptr),
-      edge_ports_(graph.NumEdges()) {
+      port_offset_(graph.NumNodes() + 1, 0) {
+  std::size_t max_degree = 0;
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    const std::size_t deg = graph_.DegreeOf(v);
+    port_offset_[v + 1] = port_offset_[v] + deg;
+    max_degree = std::max(max_degree, deg);
+  }
+  // edge -> (port index at edge.u, port index at edge.v), then flattened
+  // into the per-(node, port) reverse-port table the delivery loop reads.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_ports(
+      graph.NumEdges());
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     std::uint32_t port_index = 0;
     for (const Port& p : graph_.PortsOf(v)) {
-      if (graph_.GetEdge(p.edge).u == v) edge_ports_[p.edge].first = port_index;
-      else edge_ports_[p.edge].second = port_index;
+      if (graph_.GetEdge(p.edge).u == v) edge_ports[p.edge].first = port_index;
+      else edge_ports[p.edge].second = port_index;
       ++port_index;
     }
+  }
+  reverse_ports_.resize(port_offset_.back());
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    std::uint32_t port_index = 0;
+    for (const Port& p : graph_.PortsOf(v)) {
+      reverse_ports_[port_offset_[v] + port_index] =
+          graph_.GetEdge(p.edge).u == p.neighbor ? edge_ports[p.edge].first
+                                                 : edge_ports[p.edge].second;
+      ++port_index;
+    }
+  }
+  if (max_degree > 64) {
+    seen_ports_scratch_.resize((max_degree + 63) / 64);
   }
 }
 
@@ -36,21 +59,34 @@ void Scheduler::Register(PendingWake* wake) {
   }
   // CONGEST: at most one message per port per round.
   {
-    std::uint64_t seen_ports = 0;  // degrees can exceed 64; fall back below
-    bool small = graph_.DegreeOf(wake->node) <= 64;
-    std::vector<bool> seen_large;
-    if (!small) seen_large.assign(graph_.DegreeOf(wake->node), false);
-    for (const OutMessage& out : wake->sends) {
-      if (out.port >= graph_.DegreeOf(wake->node)) {
-        throw std::logic_error("send on nonexistent port");
+    const std::size_t degree = graph_.DegreeOf(wake->node);
+    if (degree <= 64) {
+      std::uint64_t seen_ports = 0;
+      for (const OutMessage& out : wake->sends) {
+        if (out.port >= degree) {
+          throw std::logic_error("send on nonexistent port");
+        }
+        if (((seen_ports >> out.port) & 1) != 0) {
+          throw std::logic_error("two messages on one port in one round");
+        }
+        seen_ports |= std::uint64_t{1} << out.port;
       }
-      bool dup = small ? ((seen_ports >> out.port) & 1) != 0
-                       : seen_large[out.port];
-      if (dup) {
-        throw std::logic_error("two messages on one port in one round");
+    } else {
+      // Reuse the scheduler-owned scratch bitset (sized to the max
+      // degree in the constructor) rather than allocating per awake.
+      const std::size_t words = (degree + 63) / 64;
+      std::fill_n(seen_ports_scratch_.begin(), words, 0);
+      for (const OutMessage& out : wake->sends) {
+        if (out.port >= degree) {
+          throw std::logic_error("send on nonexistent port");
+        }
+        std::uint64_t& word = seen_ports_scratch_[out.port / 64];
+        const std::uint64_t bit = std::uint64_t{1} << (out.port % 64);
+        if ((word & bit) != 0) {
+          throw std::logic_error("two messages on one port in one round");
+        }
+        word |= bit;
       }
-      if (small) seen_ports |= std::uint64_t{1} << out.port;
-      else seen_large[out.port] = true;
     }
   }
   if (open_bucket_ != kNoBucket && open_round_ == wake->round) {
@@ -121,8 +157,12 @@ void Scheduler::RunRound(Round r) {
   for (std::size_t wi = 0; wi < wakers.size(); ++wi) {
     PendingWake* w = wakers[wi];
     NodeMetrics& nm = metrics_.Node(w->node);
+    // Hoist the per-node indirections out of the per-send loop: the port
+    // table base and the precomputed receiver-port row.
+    const Port* ports = graph_.PortsOf(w->node).data();
+    const std::uint32_t* reverse = reverse_ports_.data() + port_offset_[w->node];
     for (const OutMessage& out : w->sends) {
-      const Port& port = graph_.PortsOf(w->node)[out.port];
+      const Port& port = ports[out.port];
       ++nm.messages_sent;
       const std::uint64_t bits = out.msg.BitSize();
       nm.bits_sent += bits;
@@ -134,12 +174,8 @@ void Scheduler::RunRound(Round r) {
         continue;
       }
       // The receiving side identifies the sender by its own port number
-      // for the shared edge (precomputed).
-      const auto& [port_at_u, port_at_v] = edge_ports_[port.edge];
-      const std::uint32_t reverse_port =
-          graph_.GetEdge(port.edge).u == port.neighbor ? port_at_u
-                                                       : port_at_v;
-      target->inbox.push_back(InMessage{reverse_port, out.msg});
+      // for the shared edge (precomputed in reverse_ports_).
+      target->inbox.push_back(InMessage{reverse[out.port], out.msg});
     }
   }
 

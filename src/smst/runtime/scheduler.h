@@ -26,12 +26,14 @@ using Round = std::uint64_t;
 
 // One suspended Awake(...) call; lives inside the awaiting coroutine's
 // frame (stable while suspended). Defined here so the scheduler can hold
-// pointers to it; constructed by NodeContext.
+// pointers to it; constructed by NodeContext. The batches are SmallVecs
+// with inline capacity, so a typical awake (degree-bounded sends and
+// inbox) costs no heap allocation at all.
 struct PendingWake {
   NodeIndex node = kInvalidNode;
   Round round = 0;
-  std::vector<OutMessage> sends;
-  std::vector<InMessage> inbox;
+  SendBatch sends;
+  InboxBatch inbox;
   void* handle_address = nullptr;  // std::coroutine_handle<> address
 };
 
@@ -97,9 +99,16 @@ class Scheduler {
   std::vector<std::uint32_t> round_drops_;
   // node -> its PendingWake for the round being processed (else null).
   std::vector<PendingWake*> awake_now_;
-  // edge -> (port index at edge.u, port index at edge.v), precomputed so
-  // delivery resolves the receiver's port in O(1).
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_ports_;
+  // CSR over ports, aligned with WeightedGraph's port tables:
+  // reverse_ports_[port_offset_[v] + p] is the port index *at the
+  // neighbor* for node v's port p. Precomputed so delivery resolves the
+  // receiver's port with one load instead of a GetEdge + endpoint
+  // comparison per message.
+  std::vector<std::size_t> port_offset_;   // size n+1
+  std::vector<std::uint32_t> reverse_ports_;
+  // Scratch bitset reused by Register's duplicate-port check for nodes
+  // of degree > 64 (sized to the max degree once; cleared per use).
+  std::vector<std::uint64_t> seen_ports_scratch_;
   TraceSink trace_;
 };
 

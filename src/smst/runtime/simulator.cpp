@@ -21,16 +21,15 @@ void Simulator::Run(const NodeProgram& program) {
   ran_ = true;
 
   Xoshiro256 root_rng(options_.seed);
-  contexts_.reserve(graph_.NumNodes());
   runners_.reserve(graph_.NumNodes());
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     // Each node's private randomness is a substream keyed by its index so
     // runs are reproducible regardless of scheduling order.
-    contexts_.push_back(std::make_unique<NodeContext>(
-        graph_, v, scheduler_, metrics_, root_rng.Split(v)));
+    contexts_.emplace_back(graph_, v, scheduler_, metrics_,
+                           root_rng.Split(v));
   }
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
-    runners_.emplace_back(program(*contexts_[v]));
+    runners_.emplace_back(program(contexts_[v]));
   }
   // Start after all tasks exist: a program may run to completion
   // immediately, and starting in a second pass keeps round-1 sends of all

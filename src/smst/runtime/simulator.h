@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
 
 #include "smst/graph/graph.h"
 #include "smst/runtime/metrics.h"
@@ -44,8 +44,9 @@ class Simulator {
   Metrics metrics_;
   Scheduler scheduler_;
   // Contexts must be address-stable across the run (coroutines hold
-  // references), hence unique_ptrs.
-  std::vector<std::unique_ptr<NodeContext>> contexts_;
+  // references); a deque keeps elements pinned while growing without one
+  // heap allocation per node.
+  std::deque<NodeContext> contexts_;
   std::vector<TaskRunner> runners_;
   bool ran_ = false;
 };

@@ -10,9 +10,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "smst/runtime/frame_pool.h"
 
 namespace smst {
 
@@ -23,6 +26,18 @@ namespace detail {
 
 // Behaviour shared by Task<T> and Task<void> promises.
 struct PromiseBase {
+#ifndef SMST_NO_FRAME_POOL
+  // Coroutine frames are recycled through the thread-local frame pool:
+  // a run's millions of sub-procedure awaits reuse a handful of blocks
+  // instead of hitting the heap each time. Sized delete lets the pool
+  // recompute the size bucket without a per-block header. Disable with
+  // the SMST_NO_FRAME_POOL CMake option (see frame_pool.h).
+  static void* operator new(std::size_t bytes) { return FrameAllocate(bytes); }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FrameDeallocate(p, bytes);
+  }
+#endif
+
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr exception;
 

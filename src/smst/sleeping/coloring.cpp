@@ -89,7 +89,7 @@ Task<ColoringResult> FastAwakeColoring(NodeContext& ctx, const LdtState& ldt,
       result.my_color = CheckedColor(announced.a);
       // Announce to neighbor fragments over the valid-MOE edges.
       if (!h_ports.empty()) {
-        std::vector<OutMessage> sends;
+        SendBatch sends;
         sends.reserve(h_ports.size());
         for (const HPort& hp : h_ports) {
           sends.push_back(
@@ -153,7 +153,7 @@ Task<std::map<NodeId, std::uint64_t>> ExchangeValues(
     const std::vector<HPort>& h_ports, std::uint64_t own_value,
     bool announce = true) {
   // Side: announce on the boundary edges.
-  std::vector<OutMessage> sends;
+  SendBatch sends;
   if (announce) {
     sends.reserve(h_ports.size());
     for (const HPort& hp : h_ports) {
@@ -270,7 +270,7 @@ Task<LogStarResult> LogStarColoring(NodeContext& ctx, const LdtState& ldt,
   // the shared edge in; learn the same for our in-edges. --------------
   std::map<Weight, std::uint32_t> in_forest;  // in-edge weight -> forest
   {
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     for (const HPort& hp : h_ports) {
       for (std::uint32_t k = 0; k < out_edges.size(); ++k) {
         if (out_edges[k].frag_id == hp.neighbor_frag &&

@@ -13,16 +13,22 @@
 #include <vector>
 
 #include "smst/graph/graph.h"
+#include "smst/util/small_vec.h"
 
 namespace smst {
 
 inline constexpr std::uint32_t kNoPort = static_cast<std::uint32_t>(-1);
 
+// Tree fan-out is small in the model workloads, so child lists live
+// inline (no heap) in the common case; merging re-roots then copy and
+// mutate these every phase, which this keeps allocation-free.
+using ChildPortList = SmallVec<std::uint32_t, 4>;
+
 struct LdtState {
   NodeId fragment_id = 0;
   std::uint64_t level = 0;
   std::uint32_t parent_port = kNoPort;
-  std::vector<std::uint32_t> child_ports;
+  ChildPortList child_ports;
 
   bool IsRoot() const { return parent_port == kNoPort; }
 

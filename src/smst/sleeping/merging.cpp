@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -11,7 +12,7 @@ namespace smst {
 
 namespace {
 
-std::optional<Message> FromPort(const std::vector<InMessage>& inbox,
+std::optional<Message> FromPort(std::span<const InMessage> inbox,
                                 std::uint32_t port) {
   for (const InMessage& m : inbox) {
     if (m.port == port) return m.msg;
@@ -43,12 +44,12 @@ Task<void> MergingFragments(NodeContext& ctx, LdtState& ldt,
   NodeId new_frag = 0;
   std::uint64_t new_level = 0;
   std::uint32_t new_parent_port = ldt.parent_port;
-  std::vector<std::uint32_t> new_children = ldt.child_ports;
+  ChildPortList new_children = ldt.child_ports;
 
   // --- sub-block A: Side exchange of (fragment ID, level, ATTACH) ------
   {
     const auto sched = TransmissionSchedule(block_a, ldt.level, span);
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     sends.reserve(ctx.Degree());
     for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
       const std::uint64_t attach =
@@ -147,7 +148,7 @@ Task<void> MergingFragments(NodeContext& ctx, LdtState& ldt,
       // Send down to every old child except the one the NEW values came
       // from (a path node's sender child already has them and sleeps
       // through Down-Receive; skipping it keeps the protocol drop-free).
-      std::vector<OutMessage> sends;
+      SendBatch sends;
       sends.reserve(ldt.child_ports.size());
       for (std::uint32_t p : ldt.child_ports) {
         if (p == new_parent_port) continue;

@@ -7,7 +7,7 @@
 
 namespace smst {
 
-std::optional<Message> MessageFromPort(const std::vector<InMessage>& inbox,
+std::optional<Message> MessageFromPort(std::span<const InMessage> inbox,
                                        std::uint32_t port) {
   for (const InMessage& m : inbox) {
     if (m.port == port) return m.msg;
@@ -38,7 +38,7 @@ Task<Message> FragmentBroadcast(NodeContext& ctx, const LdtState& ldt,
     msg = *from_parent;
   }
   if (!ldt.child_ports.empty()) {
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     sends.reserve(ldt.child_ports.size());
     for (std::uint32_t p : ldt.child_ports) sends.push_back({p, msg});
     co_await ctx.Awake(sched.down_send, std::move(sends));
@@ -95,18 +95,18 @@ Task<UpcastSumResult> UpcastSum(NodeContext& ctx, const LdtState& ldt,
   co_return result;
 }
 
-Task<std::vector<InMessage>> TransmitAdjacent(NodeContext& ctx,
-                                              const LdtState& ldt,
-                                              Round block_start,
-                                              std::vector<OutMessage> sends,
-                                              std::size_t span) {
+Task<InboxBatch> TransmitAdjacent(NodeContext& ctx,
+                                  const LdtState& ldt,
+                                  Round block_start,
+                                  SendBatch sends,
+                                  std::size_t span) {
   const ScheduleRounds sched = TransmissionSchedule(
       block_start, ldt.level, span == 0 ? ctx.NumNodesKnown() : span);
   co_return co_await ctx.Awake(sched.side, std::move(sends));
 }
 
-std::vector<OutMessage> ToAllPorts(const NodeContext& ctx, Message msg) {
-  std::vector<OutMessage> sends;
+SendBatch ToAllPorts(const NodeContext& ctx, Message msg) {
+  SendBatch sends;
   sends.reserve(ctx.Degree());
   for (std::uint32_t p = 0; p < ctx.Degree(); ++p) sends.push_back({p, msg});
   return sends;

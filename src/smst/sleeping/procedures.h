@@ -12,7 +12,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "smst/runtime/node.h"
 #include "smst/runtime/task.h"
@@ -66,8 +66,9 @@ Task<UpcastItem> UpcastMin(NodeContext& ctx, const LdtState& ldt,
 struct UpcastSumResult {
   std::uint64_t subtree_total = 0;  // own contribution + all descendants
   // (child port, that child's subtree total) in child_ports order; kept
-  // so a later down-pass can split an allotment among subtrees.
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> child_totals;
+  // so a later down-pass can split an allotment among subtrees. SmallVec:
+  // LDT fan-out is small, so this stays inside the coroutine frame.
+  SmallVec<std::pair<std::uint32_t, std::uint64_t>, 4> child_totals;
 };
 
 // Sum convergecast (used by Deterministic-MST's incoming-MOE counting).
@@ -79,17 +80,17 @@ Task<UpcastSumResult> UpcastSum(NodeContext& ctx, const LdtState& ldt,
 // Transmit-Adjacent(n): every node is awake in the block's Side round and
 // exchanges messages with simultaneously-awake neighbors. The caller
 // chooses the per-port messages (or none); returns what arrived.
-Task<std::vector<InMessage>> TransmitAdjacent(NodeContext& ctx,
-                                              const LdtState& ldt,
-                                              Round block_start,
-                                              std::vector<OutMessage> sends,
-                                              std::size_t span = 0);
+Task<InboxBatch> TransmitAdjacent(NodeContext& ctx,
+                                  const LdtState& ldt,
+                                  Round block_start,
+                                  SendBatch sends,
+                                  std::size_t span = 0);
 
 // Convenience: the same message on every port.
-std::vector<OutMessage> ToAllPorts(const NodeContext& ctx, Message msg);
+SendBatch ToAllPorts(const NodeContext& ctx, Message msg);
 
 // The message that arrived on `port`, if any.
-std::optional<Message> MessageFromPort(const std::vector<InMessage>& inbox,
+std::optional<Message> MessageFromPort(std::span<const InMessage> inbox,
                                        std::uint32_t port);
 
 }  // namespace smst

@@ -1,0 +1,199 @@
+// Allocation-regression harness: pins the engine's zero-allocation
+// steady state so it cannot silently regress.
+//
+// This binary replaces global operator new/delete with counting
+// versions (test-only; nothing here leaks into the library). The core
+// assertion style is *marginal*, not absolute: run the same workload at
+// two different round counts after a warm-up run and require the total
+// allocation counts to be equal — i.e. zero allocations per additional
+// awake node-round. Absolute counts would be brittle across standard
+// libraries; marginal counts are exact and portable.
+//
+// With SMST_NO_FRAME_POOL the coroutine frame pool is compiled out and
+// every sub-procedure await allocates; the steady-state assertions are
+// skipped in that configuration (the correctness tests still run).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#include "smst/graph/generators.h"
+#include "smst/graph/graph.h"
+#include "smst/mst/randomized_mst.h"
+#include "smst/runtime/frame_pool.h"
+#include "smst/runtime/simulator.h"
+
+namespace {
+
+// Thread-local so the count is exact for the (single-threaded) workload
+// under measurement even if other threads existed.
+thread_local std::uint64_t t_alloc_count = 0;
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace smst {
+namespace {
+
+template <typename Fn>
+std::uint64_t CountAllocs(Fn&& fn) {
+  const std::uint64_t before = t_alloc_count;
+  fn();
+  return t_alloc_count - before;
+}
+
+// Every node awake and chattering on all ports every round — the same
+// shape as bench_micro's dense-round engine benchmark.
+Task<void> PingNode(NodeContext& ctx, int rounds) {
+  for (int r = 1; r <= rounds; ++r) {
+    SendBatch sends;
+    sends.reserve(ctx.Degree());
+    for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+      sends.push_back({p, Message{1, ctx.Id(), 0, 0}});
+    }
+    co_await ctx.Awake(static_cast<Round>(r), std::move(sends));
+  }
+}
+
+RunStats RunPing(const WeightedGraph& g, int rounds) {
+  Simulator sim(g);
+  sim.Run([rounds](NodeContext& ctx) { return PingNode(ctx, rounds); });
+  return sim.Stats();
+}
+
+TEST(AllocationRegressionTest, EngineSteadyStateIsAllocationFree) {
+#ifdef SMST_NO_FRAME_POOL
+  GTEST_SKIP() << "frame pool compiled out; steady state allocates";
+#endif
+  Xoshiro256 rng(7);
+  const auto g = MakeRing(64, rng);
+  RunPing(g, 8);  // warm-up: frame pool, lazy library initialization
+
+  const std::uint64_t short_run = CountAllocs([&] { RunPing(g, 32); });
+  const std::uint64_t long_run = CountAllocs([&] { RunPing(g, 128); });
+  // The extra (128 - 32) * 64 = 6144 awake node-rounds must cost zero
+  // heap allocations: inline message batches, pooled coroutine frames,
+  // recycled scheduler buckets.
+  EXPECT_EQ(long_run, short_run)
+      << "steady-state allocations now scale with awake node-rounds";
+}
+
+TEST(AllocationRegressionTest, FramePoolRecyclesFramesAfterWarmup) {
+#ifdef SMST_NO_FRAME_POOL
+  GTEST_SKIP() << "frame pool compiled out";
+#endif
+  Xoshiro256 rng(7);
+  const auto g = MakeRing(16, rng);
+  RunPing(g, 4);  // warm-up
+  const FramePoolStats before = GetFramePoolStats();
+  RunPing(g, 4);
+  const FramePoolStats after = GetFramePoolStats();
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+  EXPECT_EQ(after.fresh_blocks, before.fresh_blocks)
+      << "a warmed pool should not mint new blocks for a repeat run";
+}
+
+// --- satellite: degree > 64 exercises Register's scratch bitset -------
+
+WeightedGraph MakeHighDegreeStar(std::size_t leaves) {
+  GraphBuilder b(leaves + 1);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    b.AddEdge(0, static_cast<NodeIndex>(i + 1), static_cast<Weight>(i + 1));
+  }
+  return std::move(b).Build();
+}
+
+// The center broadcasts on all (>64) ports every round; leaves are awake
+// listening. Register's duplicate-port check must use the reusable
+// scratch bitset, not a fresh vector<bool> per awake.
+Task<void> StarNode(NodeContext& ctx, int rounds) {
+  const bool center = ctx.Degree() > 1;
+  for (int r = 1; r <= rounds; ++r) {
+    SendBatch sends;
+    if (center) {
+      sends.reserve(ctx.Degree());
+      for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+        sends.push_back({p, Message{2, ctx.Id(), 0, 0}});
+      }
+    }
+    co_await ctx.Awake(static_cast<Round>(r), std::move(sends));
+  }
+}
+
+std::uint64_t RunStar(const WeightedGraph& g, int rounds) {
+  Simulator sim(g);
+  sim.Run([rounds](NodeContext& ctx) { return StarNode(ctx, rounds); });
+  return sim.Stats().awake_node_rounds;
+}
+
+TEST(AllocationRegressionTest, HighDegreeRegisterUsesScratchBitset) {
+#ifdef SMST_NO_FRAME_POOL
+  GTEST_SKIP() << "frame pool compiled out; steady state allocates";
+#endif
+  const auto g = MakeHighDegreeStar(80);  // center degree 80 > 64
+  RunStar(g, 4);  // warm-up
+
+  const std::uint64_t short_run = CountAllocs([&] { RunStar(g, 8); });
+  const std::uint64_t long_run = CountAllocs([&] { RunStar(g, 32); });
+  // Per extra round the only permitted allocation is the center's
+  // 80-entry SendBatch spilling past its inline capacity — exactly one.
+  // Register itself (the old per-awake vector<bool>) must contribute
+  // zero; before the scratch bitset this margin was several per round.
+  EXPECT_EQ(long_run - short_run, std::uint64_t{32 - 8})
+      << "degree>64 awake path allocates more than the send spill";
+}
+
+TEST(AllocationRegressionTest, HighDegreeDuplicatePortStillDetected) {
+  const auto g = MakeHighDegreeStar(80);
+  Simulator sim(g);
+  EXPECT_THROW(
+      sim.Run([](NodeContext& ctx) -> Task<void> {
+        SendBatch sends;
+        if (ctx.Degree() > 1) {
+          sends.push_back({70, Message{3, 1, 0, 0}});
+          sends.push_back({70, Message{3, 2, 0, 0}});  // duplicate port
+        }
+        co_await ctx.Awake(1, std::move(sends));
+      }),
+      std::logic_error);
+}
+
+// --- end-to-end budget on a real algorithm ----------------------------
+
+TEST(AllocationRegressionTest, RandomizedMstStaysWithinAllocationBudget) {
+#ifdef SMST_NO_FRAME_POOL
+  GTEST_SKIP() << "frame pool compiled out; steady state allocates";
+#endif
+  Xoshiro256 rng(1);
+  const auto g = MakeErdosRenyi(128, 8.0 / 128, rng);
+  RunRandomizedMst(g, {.seed = 1});  // warm-up
+
+  std::uint64_t awake_rounds = 0;
+  const std::uint64_t allocs = CountAllocs([&] {
+    awake_rounds = RunRandomizedMst(g, {.seed = 1}).stats.awake_node_rounds;
+  });
+  ASSERT_GT(awake_rounds, 0u);
+  // Whole-run budget. The engine's steady state is allocation-free (see
+  // EngineSteadyStateIsAllocationFree); what remains here is (a) run
+  // setup, amortized, and (b) message batches spilling past their inline
+  // capacity of 4 on this average-degree-8 graph — inherent to the
+  // workload, not per-round engine cost. Measured ~0.94 on this
+  // workload; the pin catches any regression back toward the pre-pool
+  // ~3-5 allocations per awake node-round.
+  const double per_awake_round =
+      static_cast<double>(allocs) / static_cast<double>(awake_rounds);
+  EXPECT_LT(per_awake_round, 1.0)
+      << "allocs=" << allocs << " awake_node_rounds=" << awake_rounds;
+}
+
+}  // namespace
+}  // namespace smst

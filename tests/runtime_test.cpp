@@ -155,7 +155,7 @@ TEST(SimulatorTest, EmptyRoundsAreSkippedCheaply) {
 
 Task<void> DoublePortSend(NodeContext& ctx) {
   if (ctx.Index() == 0) {
-    std::vector<OutMessage> sends;
+    SendBatch sends;
     sends.push_back({0, Message{1, 0, 0, 0}});
     sends.push_back({0, Message{2, 0, 0, 0}});
     co_await ctx.Awake(1, std::move(sends));
@@ -239,7 +239,7 @@ TEST(SimulatorTest, BadRoundRequestSurfacesThroughNestedTasks) {
 }
 
 Task<int> NestedDoubleSend(NodeContext& ctx) {
-  std::vector<OutMessage> sends;
+  SendBatch sends;
   sends.push_back({0, Message{1, 0, 0, 0}});
   sends.push_back({0, Message{2, 0, 0, 0}});
   co_await ctx.Awake(1, std::move(sends));
@@ -333,7 +333,7 @@ Task<void> TrianglePortCheck(NodeContext& ctx,
                              std::vector<std::vector<std::uint64_t>>* seen) {
   // Everyone sends its ID on every port in round 1; receivers record the
   // sender ID indexed by arrival port.
-  std::vector<OutMessage> sends;
+  SendBatch sends;
   for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
     sends.push_back({p, Message{1, ctx.Id(), 0, 0}});
   }

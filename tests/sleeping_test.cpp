@@ -213,7 +213,7 @@ struct TwoFragmentFixture {
 };
 
 Task<void> SideProgram(NodeContext& ctx, std::vector<LdtState>* states,
-                       std::vector<std::vector<InMessage>>* got) {
+                       std::vector<InboxBatch>* got) {
   const LdtState& ldt = (*states)[ctx.Index()];
   // Everyone announces its fragment ID on every port.
   auto sends = ToAllPorts(ctx, Message{7, ldt.fragment_id, 0, 0});
@@ -224,7 +224,7 @@ Task<void> SideProgram(NodeContext& ctx, std::vector<LdtState>* states,
 TEST(TransmitAdjacentTest, CrossFragmentExchangeInOneAwakeRound) {
   TwoFragmentFixture fx;
   ASSERT_EQ(CheckForestInvariant(fx.g, fx.states), "");
-  std::vector<std::vector<InMessage>> got(4);
+  std::vector<InboxBatch> got(4);
   Simulator sim(fx.g);
   sim.Run([&](NodeContext& ctx) {
     return SideProgram(ctx, &fx.states, &got);

@@ -83,7 +83,7 @@ TEST(StressTest, DuplicatePortDetectionOnHighDegreeNode) {
   Simulator sim(g);
   EXPECT_THROW(sim.Run([](NodeContext& ctx) -> Task<void> {
                  if (ctx.Degree() > 64) {
-                   std::vector<OutMessage> sends;
+                   SendBatch sends;
                    sends.push_back({68, Message{1, 0, 0, 0}});
                    sends.push_back({68, Message{2, 0, 0, 0}});
                    co_await ctx.Awake(1, std::move(sends));
