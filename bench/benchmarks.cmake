@@ -26,6 +26,7 @@ set(SMST_BENCHES
   bench_termination_ablation.cpp
   bench_diameter_independence.cpp
   bench_adaptive_blocks.cpp
+  bench_robustness.cpp
   bench_micro.cpp
 )
 

@@ -1,0 +1,112 @@
+// Runtime invariant auditor for the sleeping-model CONGEST substrate.
+//
+// The Auditor is a pluggable checker layer that watches a run from the
+// scheduler's hooks and independently re-derives the model's invariants
+// every round:
+//
+//   congest-bits    no message exceeds the O(log n)-bit CONGEST budget
+//                   (derived from the graph's ID range, weight range, and
+//                   n; the +-infinity sentinels count as one symbol, and
+//                   the budget admits one field packing four log-sized
+//                   values in 16-bit lanes — the coloring's Pack4 idiom)
+//   asleep-send     no node sends in a round it is not awake in
+//   asleep-receive  no message is delivered to a sleeping node
+//   awake-meter     the auditor's own awake-node-round count matches the
+//                   scheduler's Metrics meter (CheckAwakeMeter)
+//   forest          fragment structure stays a forest: parent/child
+//                   symmetry, level = parent level + 1, no parent cycles
+//                   (CheckForest, fed LDT snapshots by the algorithms or
+//                   tests)
+//
+// Violations are recorded with round + node attribution (up to
+// Config::max_recorded, counted beyond that). The hooks are compiled
+// into the scheduler by default behind a null-pointer check and can be
+// removed entirely with -DSMST_NO_AUDITOR=ON; Debug builds (and any
+// build configured with -DSMST_AUDIT=ON) install an auditor on every
+// Simulator by default, making every existing test a model-conformance
+// test. The auditor never changes execution — it only observes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smst/graph/graph.h"
+#include "smst/runtime/message.h"
+#include "smst/runtime/metrics.h"
+#include "smst/sleeping/ldt.h"
+
+namespace smst {
+
+using Round = std::uint64_t;  // same alias as runtime/scheduler.h
+
+struct AuditViolation {
+  std::string check;  // "congest-bits" | "asleep-send" | ... (see above)
+  Round round = 0;    // for "forest" fed from phase snapshots: the phase
+  NodeIndex node = kInvalidNode;
+  std::string detail;
+};
+
+class Auditor {
+ public:
+  struct Config {
+    // Per-message bit ceiling; 0 derives the CONGEST budget from the
+    // graph (see BitBudget()).
+    std::uint32_t max_message_bits = 0;
+    // Throw std::runtime_error at the first violation instead of
+    // accumulating (tests that want a precise failure point).
+    bool fail_fast = false;
+    // Violations recorded verbatim; the rest only counted.
+    std::size_t max_recorded = 64;
+  };
+
+  explicit Auditor(const WeightedGraph& graph);
+  Auditor(const WeightedGraph& graph, Config config);
+
+  // ---- scheduler hooks (observation only; cheap, branch-free inner) ---
+  void OnAwake(Round r, NodeIndex v);
+  void OnSend(Round r, NodeIndex v, std::uint32_t port, const Message& m);
+  void OnDeliver(Round r, NodeIndex src, NodeIndex dst, const Message& m);
+  // `injected` distinguishes adversary drops from sleeping-model loss.
+  void OnDrop(Round r, NodeIndex src, bool injected);
+
+  // ---- cross-checks ---------------------------------------------------
+  // Compares the auditor's awake/drop meters against the scheduler's.
+  void CheckAwakeMeter(const Metrics& metrics);
+  // Verifies the LDT forest invariant over a whole-graph snapshot,
+  // attributing the first offending node. `when` labels the violation's
+  // round field (callers pass the phase or round the snapshot belongs to).
+  void CheckForest(Round when, const std::vector<LdtState>& states);
+
+  // ---- results --------------------------------------------------------
+  bool Clean() const { return violation_count_ == 0; }
+  std::uint64_t ViolationCount() const { return violation_count_; }
+  const std::vector<AuditViolation>& Violations() const { return recorded_; }
+  std::uint64_t AwakeNodeRounds() const { return awake_node_rounds_; }
+  std::uint64_t ModelDrops() const { return model_drops_; }
+  std::uint64_t InjectedDrops() const { return injected_drops_; }
+  std::uint32_t BitBudget() const { return bit_budget_; }
+  // One-line-per-violation report ("" when clean).
+  std::string Report() const;
+
+ private:
+  void Violate(std::string check, Round r, NodeIndex node,
+               std::string detail);
+  bool AwakeNow(Round r, NodeIndex v) const {
+    return v < awake_in_.size() && awake_in_[v] == r;
+  }
+
+  const WeightedGraph& graph_;
+  Config config_;
+  std::uint32_t bit_budget_ = 0;
+  // node -> last round it was marked awake in (rounds start at 1, so 0
+  // means "never").
+  std::vector<Round> awake_in_;
+  std::uint64_t awake_node_rounds_ = 0;
+  std::uint64_t model_drops_ = 0;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<AuditViolation> recorded_;
+};
+
+}  // namespace smst

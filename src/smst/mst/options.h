@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "smst/runtime/scheduler.h"
+#include "smst/runtime/simulator.h"
 
 namespace smst {
 
@@ -57,6 +58,14 @@ struct MstOptions {
   // protocol, same coin flips, same tree and awake complexity — only the
   // early phases' sleeping rounds shrink. See bench_adaptive_blocks.
   bool adaptive_blocks = false;
+  // Borrowed fault plan (null or empty = fault-free). A non-empty plan
+  // switches the harness to bounded-run mode: instead of throwing, the
+  // run is classified into MstRunResult::outcome (see faults/run_outcome.h)
+  // and the result is assembled best-effort.
+  const FaultPlan* fault_plan = nullptr;
+  // Runtime invariant auditor (see faults/auditor.h); kDefault follows
+  // the build configuration (on under SMST_AUDIT / Debug).
+  AuditMode audit = AuditMode::kDefault;
 };
 
 // Probe kinds recorded out-of-band for the benches.

@@ -66,8 +66,13 @@ MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
   sim_options.seed = options.seed;
   sim_options.max_rounds = options.max_rounds;
   sim_options.record_wake_times = options.record_wake_times;
+  sim_options.fault_plan = options.fault_plan;
+  sim_options.audit = options.audit;
+  const bool faulted =
+      options.fault_plan != nullptr && !options.fault_plan->Empty();
   Simulator sim(g, sim_options);
-  sim.Run([&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); });
+  RunOutcome outcome = DriveProgram(
+      sim, [&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); }, faulted);
 
   std::uint64_t phases = 0;
   for (auto p : sh.phases_done) phases = std::max(phases, p);
@@ -75,6 +80,8 @@ MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
                                std::move(sh.final_ldt));
   sh.snapshots.resize(std::min<std::size_t>(sh.snapshots.size(), phases));
   result.forest_per_phase = std::move(sh.snapshots);
+  result.outcome = std::move(outcome);
+  if (faulted) RefineOutcome(result, g.NumNodes());
   return result;
 }
 
@@ -190,7 +197,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
   }
 
   if (!finished && sh->termination == TerminationMode::kEarlyDetect) {
-    throw std::runtime_error("Randomized-MST: phase cap " +
+    throw NonTerminationError("Randomized-MST: phase cap " +
                              std::to_string(sh->phase_cap) +
                              " exceeded without termination");
   }

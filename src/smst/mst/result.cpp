@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "smst/faults/auditor.h"
 #include "smst/mst/options.h"
 
 namespace smst {
@@ -50,6 +51,40 @@ MstRunResult AssembleResult(const WeightedGraph& g,
         metrics.ProbeValue(kProbeBlueAtPhase, phase));
   }
   return r;
+}
+
+RunOutcome DriveProgram(Simulator& sim, const NodeProgram& program,
+                        bool faulted) {
+  if (!faulted) {
+    sim.Run(program);
+    // Run() already threw if the audit was not clean; surface the
+    // auditor's meters so callers can cross-check them like in faulted
+    // runs (all-zero when no auditor is installed).
+    RunOutcome out;
+    if (const Auditor* a = sim.GetAuditor()) {
+      out.audited_awake_node_rounds = a->AwakeNodeRounds();
+      out.audited_model_drops = a->ModelDrops();
+      out.audit_violations = a->ViolationCount();
+    }
+    return out;
+  }
+  return sim.RunToOutcome(program);
+}
+
+void RefineOutcome(MstRunResult& result, std::size_t num_nodes) {
+  if (!result.outcome.Ok()) return;
+  if (!result.consistency_error.empty()) {
+    result.outcome.status = RunStatus::kWrongResult;
+    result.outcome.detail = result.consistency_error;
+    return;
+  }
+  if (result.tree_edges.size() + 1 != num_nodes) {
+    result.outcome.status = RunStatus::kWrongResult;
+    result.outcome.detail =
+        "tree has " + std::to_string(result.tree_edges.size()) +
+        " edges, a spanning tree on " + std::to_string(num_nodes) +
+        " nodes needs " + std::to_string(num_nodes - 1);
+  }
 }
 
 }  // namespace smst

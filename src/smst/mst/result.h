@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "smst/faults/run_outcome.h"
 #include "smst/graph/graph.h"
 #include "smst/runtime/metrics.h"
+#include "smst/runtime/simulator.h"
 #include "smst/sleeping/ldt.h"
 
 namespace smst {
@@ -21,6 +23,12 @@ struct MstRunResult {
 
   RunStats stats;             // awake / round / message metrics
   std::uint64_t phases = 0;   // phases until termination (or the budget)
+
+  // How the run ended. Fault-free runs keep the historical throwing
+  // contract and always report kCompleted here; under a FaultPlan the
+  // failure mode is classified instead of thrown (tree_edges and the
+  // telemetry below are then best-effort).
+  RunOutcome outcome;
 
   // Telemetry: fragments alive at the start of each phase (1-indexed by
   // phase; entry 0 unused), from root probes.
@@ -50,5 +58,17 @@ MstRunResult AssembleResult(const WeightedGraph& g,
                             const std::vector<std::vector<bool>>& port_marks,
                             const Metrics& metrics, std::uint64_t phases,
                             std::vector<LdtState> final_ldt);
+
+// Shared by the algorithm harnesses: runs `program` under the dual
+// contract — the throwing Simulator::Run when `faulted` is false, the
+// classifying RunToOutcome when true.
+RunOutcome DriveProgram(Simulator& sim, const NodeProgram& program,
+                        bool faulted);
+
+// Refines a faulted run's kCompleted outcome against the assembled
+// result: an endpoint inconsistency or a non-spanning edge set becomes
+// kWrongResult. (Exact weight verification is left to callers with a
+// reference MST, e.g. VerifyMst.)
+void RefineOutcome(MstRunResult& result, std::size_t num_nodes);
 
 }  // namespace smst

@@ -19,7 +19,9 @@ LeaderElectionResult RunLeaderElection(const WeightedGraph& g,
   // own node ID. No extra rounds are needed for anyone to learn it.
   result.leader_id = run.final_ldt.empty() ? 0 : run.final_ldt[0].fragment_id;
   for (const LdtState& s : run.final_ldt) {
-    if (s.fragment_id != result.leader_id) {
+    // A faulted run reports its failure through run.outcome instead of
+    // converging; only a clean run is held to the convergence contract.
+    if (run.outcome.Ok() && s.fragment_id != result.leader_id) {
       throw std::runtime_error("leader election did not converge");
     }
   }

@@ -6,8 +6,9 @@
 // affect execution.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace smst {
@@ -60,18 +61,35 @@ class Metrics {
   }
   std::uint64_t LastRound() const { return last_round_; }
 
-  // Out-of-band bench telemetry: counters keyed by (kind, key).
+  // Out-of-band bench telemetry: counters keyed by (kind, key). Stored as
+  // a flat sorted vector — probe keys are few (one per phase per kind) and
+  // hot in the algorithms' phase loops, where the sorted-array lower_bound
+  // beats the node-per-entry std::map this replaced; iteration via
+  // Probes() stays in ascending (kind, key) order.
+  using ProbeKey = std::pair<std::uint32_t, std::uint64_t>;
+  using ProbeEntry = std::pair<ProbeKey, std::int64_t>;
   void Probe(std::uint32_t kind, std::uint64_t key, std::int64_t delta = 1) {
-    probes_[{kind, key}] += delta;
+    const ProbeKey k{kind, key};
+    auto it = std::lower_bound(probes_.begin(), probes_.end(), k,
+                               [](const ProbeEntry& e, const ProbeKey& key) {
+                                 return e.first < key;
+                               });
+    if (it != probes_.end() && it->first == k) {
+      it->second += delta;
+    } else {
+      probes_.insert(it, ProbeEntry{k, delta});
+    }
   }
   std::int64_t ProbeValue(std::uint32_t kind, std::uint64_t key) const {
-    auto it = probes_.find({kind, key});
-    return it == probes_.end() ? 0 : it->second;
+    const ProbeKey k{kind, key};
+    auto it = std::lower_bound(probes_.begin(), probes_.end(), k,
+                               [](const ProbeEntry& e, const ProbeKey& key) {
+                                 return e.first < key;
+                               });
+    return it != probes_.end() && it->first == k ? it->second : 0;
   }
-  const std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t>&
-  Probes() const {
-    return probes_;
-  }
+  // Sorted ascending by (kind, key); same iteration order as the old map.
+  const std::vector<ProbeEntry>& Probes() const { return probes_; }
 
   RunStats Summarize() const;
 
@@ -80,7 +98,7 @@ class Metrics {
   bool record_wake_times_ = false;
   std::uint64_t last_round_ = 0;
   std::uint64_t max_message_bits_ = 0;
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t> probes_;
+  std::vector<ProbeEntry> probes_;
 };
 
 }  // namespace smst

@@ -6,13 +6,31 @@
 #include <stdexcept>
 #include <string>
 
+#include "smst/faults/auditor.h"
+#include "smst/faults/run_outcome.h"
+
+// Auditor call sites compile to a single null check by default; a build
+// configured with -DSMST_NO_AUDITOR=ON removes them entirely.
+#ifdef SMST_NO_AUDITOR
+#define SMST_AUDIT_HOOK(call) ((void)0)
+#else
+#define SMST_AUDIT_HOOK(call) \
+  do {                        \
+    if (auditor_) {           \
+      auditor_->call;         \
+    }                         \
+  } while (0)
+#endif
+
 namespace smst {
 
 Scheduler::Scheduler(const WeightedGraph& graph, Metrics& metrics,
-                     Round max_rounds)
+                     SchedulerOptions options)
     : graph_(graph),
       metrics_(metrics),
-      max_rounds_(max_rounds),
+      max_rounds_(options.max_rounds),
+      faults_(options.fault_plan, options.run_seed, graph.NumNodes()),
+      auditor_(options.auditor),
       awake_now_(graph.NumNodes(), nullptr),
       port_offset_(graph.NumNodes() + 1, 0) {
   std::size_t max_degree = 0;
@@ -51,13 +69,34 @@ Scheduler::Scheduler(const WeightedGraph& graph, Metrics& metrics,
 void Scheduler::Register(PendingWake* wake) {
   assert(wake != nullptr);
   assert(wake->node < graph_.NumNodes());
-  if (wake->round <= current_round_) {
+  if (faults_.Active()) {
+    // Jitter may move the wake in either direction; clamping (rather than
+    // the monotonicity throw below) keeps perturbed runs legal — from the
+    // node's point of view the adversary skewed its clock. Crash-stop
+    // swallows the registration entirely: the coroutine stays suspended
+    // with no queue entry, and Task's destructor reclaims the frame.
+    wake->round =
+        faults_.PerturbWake(wake->node, wake->round, current_round_ + 1);
+    if (faults_.SuppressWake(wake->node, wake->round)) return;
+  } else if (wake->round <= current_round_) {
     throw std::logic_error(
         "node " + std::to_string(wake->node) + " requested awake round " +
         std::to_string(wake->round) + " but the clock is already at " +
         std::to_string(current_round_));
   }
-  // CONGEST: at most one message per port per round.
+  // CONGEST: at most one message per port per round. In a fault-free run
+  // a double-send is a programming bug (logic_error, never classified);
+  // under an active adversary a duplicated or delayed inbox can trick a
+  // correct protocol into replying twice on one port, so the violation is
+  // a fault effect and must stay classifiable (-> crashed-partition).
+  const auto double_send = [this](NodeIndex node) -> void {
+    const std::string what = "node " + std::to_string(node) +
+                             " sent two messages on one port in one round";
+    if (faults_.Active()) {
+      throw std::runtime_error(what + " (fault-corrupted protocol state)");
+    }
+    throw std::logic_error("two messages on one port in one round");
+  };
   {
     const std::size_t degree = graph_.DegreeOf(wake->node);
     if (degree <= 64) {
@@ -67,7 +106,7 @@ void Scheduler::Register(PendingWake* wake) {
           throw std::logic_error("send on nonexistent port");
         }
         if (((seen_ports >> out.port) & 1) != 0) {
-          throw std::logic_error("two messages on one port in one round");
+          double_send(wake->node);
         }
         seen_ports |= std::uint64_t{1} << out.port;
       }
@@ -83,7 +122,7 @@ void Scheduler::Register(PendingWake* wake) {
         std::uint64_t& word = seen_ports_scratch_[out.port / 64];
         const std::uint64_t bit = std::uint64_t{1} << (out.port % 64);
         if ((word & bit) != 0) {
-          throw std::logic_error("two messages on one port in one round");
+          double_send(wake->node);
         }
         word |= bit;
       }
@@ -112,9 +151,9 @@ void Scheduler::RunUntilIdle() {
   while (!heap_.empty()) {
     const Round r = heap_.front().round;
     if (r > max_rounds_) {
-      throw std::runtime_error("round watchdog tripped at round " +
-                               std::to_string(r) + " (max " +
-                               std::to_string(max_rounds_) + ")");
+      throw NonTerminationError("round watchdog tripped at round " +
+                                std::to_string(r) + " (max " +
+                                std::to_string(max_rounds_) + ")");
     }
     // Stage every bucket of round r; resumed coroutines push only
     // strictly later rounds (Register enforces it), so the heap front is
@@ -130,6 +169,31 @@ void Scheduler::RunUntilIdle() {
       heap_.pop_back();
     }
     RunRound(r);
+  }
+  // Delayed messages still parked when every node is done (or crashed)
+  // can never be delivered; expire them so the model-drop books balance.
+  if (!delayed_.empty()) DrainDelayed(kMaxRound);
+}
+
+void Scheduler::DrainDelayed(Round r) {
+  while (!delayed_.empty() && delayed_.front().due <= r) {
+    std::pop_heap(delayed_.begin(), delayed_.end(), std::greater<>{});
+    const DelayedMessage m = delayed_.back();
+    delayed_.pop_back();
+    PendingWake* target = m.due == r ? awake_now_[m.dst] : nullptr;
+    if (target != nullptr) {
+      // The receiver happens to be awake in the deferred round: the
+      // message arrives late but intact.
+      target->inbox.push_back(InMessage{m.dst_port, m.msg});
+      faults_.CountDelayedDelivered();
+      SMST_AUDIT_HOOK(OnDeliver(r, m.src, m.dst, m.msg));
+    } else {
+      // Due round skipped or receiver asleep: sleeping-model loss,
+      // charged to the sender like any other drop.
+      ++metrics_.Node(m.src).messages_dropped;
+      faults_.CountDelayedLost();
+      SMST_AUDIT_HOOK(OnDrop(m.due, m.src, /*injected=*/false));
+    }
   }
 }
 
@@ -148,12 +212,18 @@ void Scheduler::RunRound(Round r) {
                              std::to_string(r));
     }
     awake_now_[w->node] = w;
+    SMST_AUDIT_HOOK(OnAwake(r, w->node));
   }
+
+  // Adversary-delayed messages fall due before this round's own sends so
+  // a late message and a fresh same-round message arrive in age order.
+  if (!delayed_.empty()) DrainDelayed(r);
 
   // Delivery: same-round send/receive between simultaneously awake
   // endpoints; messages to sleepers are lost (and counted).
   std::vector<PendingWake*>& wakers = round_wakers_;
-  round_drops_.assign(trace_ ? wakers.size() : 0, 0);
+  round_trace_.assign(trace_ ? wakers.size() : 0, TraceCounts{});
+  const bool faulty = faults_.Active();
   for (std::size_t wi = 0; wi < wakers.size(); ++wi) {
     PendingWake* w = wakers[wi];
     NodeMetrics& nm = metrics_.Node(w->node);
@@ -167,15 +237,62 @@ void Scheduler::RunRound(Round r) {
       const std::uint64_t bits = out.msg.BitSize();
       nm.bits_sent += bits;
       metrics_.RecordMessageBits(bits);
+      SMST_AUDIT_HOOK(OnSend(r, w->node, out.port, out.msg));
+      if (faulty) {
+        const FaultSession::MessageVerdict verdict =
+            faults_.OnMessage(w->node, out.port, r);
+        if (verdict.drop) {
+          // Adversary drop: distinct from the sleeping-model loss below —
+          // it does NOT count towards messages_dropped.
+          if (trace_) ++round_trace_[wi].injected_drops;
+          SMST_AUDIT_HOOK(OnDrop(r, w->node, /*injected=*/true));
+          continue;
+        }
+        if (verdict.delay != 0) {
+          delayed_.push_back(DelayedMessage{r + verdict.delay, delayed_seq_++,
+                                            w->node, port.neighbor,
+                                            reverse[out.port], out.msg});
+          std::push_heap(delayed_.begin(), delayed_.end(), std::greater<>{});
+          if (trace_) ++round_trace_[wi].injected_delays;
+          if (verdict.duplicate) {
+            // The duplicate of a delayed message is also delayed (one
+            // extra copy in the same deferred round).
+            delayed_.push_back(DelayedMessage{r + verdict.delay,
+                                              delayed_seq_++, w->node,
+                                              port.neighbor, reverse[out.port],
+                                              out.msg});
+            std::push_heap(delayed_.begin(), delayed_.end(), std::greater<>{});
+            if (trace_) ++round_trace_[wi].injected_dups;
+          }
+          continue;
+        }
+        PendingWake* target = awake_now_[port.neighbor];
+        if (target == nullptr) {
+          ++nm.messages_dropped;
+          if (trace_) ++round_trace_[wi].dropped;
+          SMST_AUDIT_HOOK(OnDrop(r, w->node, /*injected=*/false));
+          continue;
+        }
+        target->inbox.push_back(InMessage{reverse[out.port], out.msg});
+        SMST_AUDIT_HOOK(OnDeliver(r, w->node, port.neighbor, out.msg));
+        if (verdict.duplicate) {
+          target->inbox.push_back(InMessage{reverse[out.port], out.msg});
+          if (trace_) ++round_trace_[wi].injected_dups;
+          SMST_AUDIT_HOOK(OnDeliver(r, w->node, port.neighbor, out.msg));
+        }
+        continue;
+      }
       PendingWake* target = awake_now_[port.neighbor];
       if (target == nullptr) {
         ++nm.messages_dropped;
-        if (trace_) ++round_drops_[wi];
+        if (trace_) ++round_trace_[wi].dropped;
+        SMST_AUDIT_HOOK(OnDrop(r, w->node, /*injected=*/false));
         continue;
       }
       // The receiving side identifies the sender by its own port number
       // for the shared edge (precomputed in reverse_ports_).
       target->inbox.push_back(InMessage{reverse[out.port], out.msg});
+      SMST_AUDIT_HOOK(OnDeliver(r, w->node, port.neighbor, out.msg));
     }
   }
 
@@ -188,10 +305,12 @@ void Scheduler::RunRound(Round r) {
     ++nm.awake_rounds;
     if (metrics_.WakeTimesEnabled()) nm.wake_times.push_back(r);
     if (trace_) {
+      const TraceCounts& tc = round_trace_[wi];
       trace_(TraceEvent{r, w->node,
                         static_cast<std::uint32_t>(w->sends.size()),
                         static_cast<std::uint32_t>(w->inbox.size()),
-                        round_drops_[wi]});
+                        tc.dropped, tc.injected_drops, tc.injected_delays,
+                        tc.injected_dups});
     }
     auto handle = std::coroutine_handle<>::from_address(w->handle_address);
     // After resume(), `w` may be a dangling pointer (the coroutine frame

@@ -9,18 +9,29 @@
 //  * Rounds with no awake node are skipped in O(log n) time, so an
 //    execution with huge round counts (the deterministic algorithm's
 //    O(nN log n)) costs only Σ awake node-rounds of simulation work.
+//
+// Fault injection (DESIGN.md §10): a FaultPlan installed on
+// SchedulerOptions is consulted at delivery time (drop / delay /
+// duplicate verdicts per message) and at wake registration (jitter,
+// crash-stop). With a null plan every fault branch is a single
+// well-predicted null/flag check and the engine is bit-identical to the
+// fault-free build. An optional Auditor observes the same hook points;
+// its call sites compile out under -DSMST_NO_AUDITOR.
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "smst/faults/fault_plan.h"
 #include "smst/graph/graph.h"
 #include "smst/runtime/message.h"
 #include "smst/runtime/metrics.h"
 #include "smst/runtime/trace.h"
 
 namespace smst {
+
+class Auditor;
 
 using Round = std::uint64_t;
 
@@ -37,15 +48,33 @@ struct PendingWake {
   void* handle_address = nullptr;  // std::coroutine_handle<> address
 };
 
+struct SchedulerOptions {
+  // Watchdog: abort (NonTerminationError) if the round clock passes this.
+  Round max_rounds = std::uint64_t{1} << 62;
+  // Borrowed fault plan; null or empty = the fault-free engine. The
+  // adversary stream is derived from plan->salt ^ run_seed.
+  const FaultPlan* fault_plan = nullptr;
+  std::uint64_t run_seed = 0;
+  // Borrowed runtime invariant auditor (observation only); may be null.
+  // Ignored when the library is built with SMST_NO_AUDITOR.
+  Auditor* auditor = nullptr;
+};
+
 class Scheduler {
  public:
   Scheduler(const WeightedGraph& graph, Metrics& metrics,
-            Round max_rounds);
+            SchedulerOptions options);
+  // Fault-free convenience ctor (tests drive the scheduler directly).
+  Scheduler(const WeightedGraph& graph, Metrics& metrics, Round max_rounds)
+      : Scheduler(graph, metrics, SchedulerOptions{max_rounds}) {}
 
-  // Registers a suspended node; called from the Awake awaitable.
+  // Registers a suspended node; called from the Awake awaitable. Under an
+  // active fault plan the requested round may be jittered or clamped (to
+  // current_round + 1), and a crash-stopped node's registration is
+  // swallowed entirely — its coroutine stays suspended forever.
   void Register(PendingWake* wake);
 
-  // Runs rounds until no node is pending. Throws std::runtime_error if
+  // Runs rounds until no node is pending. Throws NonTerminationError if
   // `max_rounds` is exceeded (runaway algorithm watchdog) and
   // std::logic_error if one node was registered awake twice in a round.
   void RunUntilIdle();
@@ -54,6 +83,9 @@ class Scheduler {
   bool HasPending() const { return !heap_.empty(); }
 
   void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+
+  // What the adversary did so far (all zero for a null plan).
+  const FaultStats& InjectedFaults() const { return faults_.Stats(); }
 
  private:
   // Pending wakes live in a binary min-heap of (round, seq, bucket)
@@ -79,13 +111,42 @@ class Scheduler {
   };
   static constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
 
+  // An adversary-delayed message parked until its due round. Ordered by
+  // (due, seq) so the drain order — hence duplicate inbox order and drop
+  // attribution — is deterministic.
+  struct DelayedMessage {
+    Round due;
+    std::uint64_t seq;
+    NodeIndex src;
+    NodeIndex dst;
+    std::uint32_t dst_port;
+    Message msg;
+    bool operator>(const DelayedMessage& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  // Per-waker trace scratch for one round (allocated only when tracing).
+  struct TraceCounts {
+    std::uint32_t dropped = 0;         // model drops (receiver asleep)
+    std::uint32_t injected_drops = 0;  // adversary-destroyed sends
+    std::uint32_t injected_delays = 0;
+    std::uint32_t injected_dups = 0;
+  };
+
   // Runs round `r` for the wakes staged in `round_wakers_`.
   void RunRound(Round r);
+  // Delivers or expires delayed messages with due <= r; called after
+  // awake_now_ is populated for round r (and with r = kMaxRound at the
+  // end of the run, expiring everything still parked).
+  void DrainDelayed(Round r);
 
   const WeightedGraph& graph_;
   Metrics& metrics_;
   Round max_rounds_;
   Round current_round_ = 0;
+  FaultSession faults_;
+  Auditor* auditor_ = nullptr;
   std::vector<QueueEntry> heap_;
   std::uint64_t next_seq_ = 0;
   std::vector<std::vector<PendingWake*>> buckets_;
@@ -94,11 +155,15 @@ class Scheduler {
   Round open_round_ = 0;
   std::uint32_t open_bucket_ = kNoBucket;
   // Scratch reused every round: the current round's wakes and (when
-  // tracing) their drop counts.
+  // tracing) their fault/drop counts.
   std::vector<PendingWake*> round_wakers_;
-  std::vector<std::uint32_t> round_drops_;
+  std::vector<TraceCounts> round_trace_;
   // node -> its PendingWake for the round being processed (else null).
   std::vector<PendingWake*> awake_now_;
+  // Min-heap of adversary-delayed messages (std::*_heap with
+  // std::greater); empty for a null plan.
+  std::vector<DelayedMessage> delayed_;
+  std::uint64_t delayed_seq_ = 0;
   // CSR over ports, aligned with WeightedGraph's port tables:
   // reverse_ports_[port_offset_[v] + p] is the port index *at the
   // neighbor* for node v's port p. Precomputed so delivery resolves the

@@ -3,21 +3,63 @@
 #include <stdexcept>
 #include <string>
 
+#include "smst/faults/auditor.h"
+
 namespace smst {
+
+namespace {
+
+bool WantAuditor(AuditMode mode) {
+#ifdef SMST_NO_AUDITOR
+  (void)mode;
+  return false;
+#else
+  switch (mode) {
+    case AuditMode::kOn: return true;
+    case AuditMode::kOff: return false;
+    case AuditMode::kDefault:
+#ifdef SMST_AUDIT_DEFAULT_ON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+#endif
+}
+
+SchedulerOptions MakeSchedulerOptions(const SimulatorOptions& o,
+                                      Auditor* auditor) {
+  SchedulerOptions s;
+  s.max_rounds = o.max_rounds;
+  s.fault_plan = o.fault_plan;
+  s.run_seed = o.seed;
+  s.auditor = auditor;
+  return s;
+}
+
+}  // namespace
 
 Simulator::Simulator(const WeightedGraph& graph, SimulatorOptions options)
     : graph_(graph),
-      options_(options),
+      options_(std::move(options)),
       metrics_(graph.NumNodes()),
-      scheduler_(graph, metrics_, options.max_rounds) {
-  if (options.record_wake_times) metrics_.EnableWakeTimes();
+      auditor_(WantAuditor(options_.audit) ? std::make_unique<Auditor>(graph)
+                                           : nullptr),
+      scheduler_(graph, metrics_, MakeSchedulerOptions(options_,
+                                                       auditor_.get())) {
+  if (options_.record_wake_times) metrics_.EnableWakeTimes();
   if (options_.trace) scheduler_.SetTraceSink(options_.trace);
 }
 
 Simulator::~Simulator() = default;
 
-void Simulator::Run(const NodeProgram& program) {
-  if (ran_) throw std::logic_error("Simulator::Run may be called once");
+const FaultStats& Simulator::InjectedFaults() const {
+  return scheduler_.InjectedFaults();
+}
+
+void Simulator::Execute(const NodeProgram& program) {
+  if (ran_) throw std::logic_error("Simulator may run only once");
   ran_ = true;
 
   Xoshiro256 root_rng(options_.seed);
@@ -45,6 +87,25 @@ void Simulator::Run(const NodeProgram& program) {
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     runners_[v].RethrowIfFailed();
   }
+}
+
+std::uint64_t Simulator::CountUnfinished() const {
+  std::uint64_t unfinished = 0;
+  for (const TaskRunner& r : runners_) {
+    if (!r.Done()) ++unfinished;
+  }
+  return unfinished;
+}
+
+void Simulator::FillAuditSummary(RunOutcome& out) const {
+  if (!auditor_) return;
+  out.audited_awake_node_rounds = auditor_->AwakeNodeRounds();
+  out.audited_model_drops = auditor_->ModelDrops();
+  out.audit_violations = auditor_->ViolationCount();
+}
+
+void Simulator::Run(const NodeProgram& program) {
+  Execute(program);
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     if (!runners_[v].Done()) {
       throw std::runtime_error(
@@ -52,6 +113,50 @@ void Simulator::Run(const NodeProgram& program) {
           " never finished (suspended with an empty wake queue)");
     }
   }
+  if (auditor_) {
+    // Model conformance is part of the fault-free contract: a clean run
+    // must also be a clean audit (builds with SMST_AUDIT make every
+    // existing test a conformance test this way).
+    auditor_->CheckAwakeMeter(metrics_);
+    if (!auditor_->Clean()) {
+      throw std::runtime_error(auditor_->Report());
+    }
+  }
+}
+
+RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
+  RunOutcome out;
+  try {
+    Execute(program);
+  } catch (const NonTerminationError& e) {
+    out.status = RunStatus::kNonTermination;
+    out.detail = e.what();
+  } catch (const ProtocolStallError& e) {
+    out.status = RunStatus::kCrashedPartition;
+    out.detail = e.what();
+  } catch (const std::logic_error&) {
+    throw;  // a programming bug, not a fault effect
+  } catch (const std::exception& e) {
+    // Any other failure a fault drove the algorithm into (defensive
+    // checks on malformed protocol state) counts as a crashed run.
+    out.status = RunStatus::kCrashedPartition;
+    out.detail = e.what();
+  }
+  const std::uint64_t unfinished = CountUnfinished();
+  out.unfinished_nodes = unfinished;
+  if (out.status == RunStatus::kCompleted && unfinished > 0) {
+    out.status = RunStatus::kCrashedPartition;
+    out.detail = std::to_string(unfinished) +
+                 " node program(s) never finished (crash-stopped nodes "
+                 "and the peers they stranded)";
+  }
+  out.last_round = metrics_.LastRound();
+  out.faults = scheduler_.InjectedFaults();
+  if (auditor_) {
+    auditor_->CheckAwakeMeter(metrics_);
+    FillAuditSummary(out);
+  }
+  return out;
 }
 
 }  // namespace smst

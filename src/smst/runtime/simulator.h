@@ -1,17 +1,29 @@
 // Simulator: drives one node program per node to completion and collects
-// the run's metrics. Deterministic under a fixed seed.
+// the run's metrics. Deterministic under a fixed seed — including under a
+// fault plan, whose adversary stream is derived from (plan salt ^ seed).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "smst/faults/fault_plan.h"
+#include "smst/faults/run_outcome.h"
 #include "smst/graph/graph.h"
 #include "smst/runtime/metrics.h"
 #include "smst/runtime/node.h"
 #include "smst/runtime/task.h"
 
 namespace smst {
+
+class Auditor;
+
+// Whether this run gets a runtime invariant auditor (see faults/auditor.h).
+// kDefault = on in builds configured with SMST_AUDIT (all Debug builds),
+// off otherwise; kOn/kOff force it. A library built with SMST_NO_AUDITOR
+// has no hooks, so every mode degrades to off.
+enum class AuditMode : std::uint8_t { kDefault, kOn, kOff };
 
 struct SimulatorOptions {
   std::uint64_t seed = 1;
@@ -21,6 +33,10 @@ struct SimulatorOptions {
   bool record_wake_times = false;
   // Optional per-(node, awake round) event sink; see runtime/trace.h.
   TraceSink trace;
+  // Borrowed fault plan (null or empty = fault-free run); consulted by
+  // the scheduler at delivery and wake-registration time.
+  const FaultPlan* fault_plan = nullptr;
+  AuditMode audit = AuditMode::kDefault;
 };
 
 // A node program: the algorithm one node runs. Must eventually finish.
@@ -32,16 +48,37 @@ class Simulator {
   ~Simulator();
 
   // Starts `program` on every node and runs rounds until all programs
-  // finish. Rethrows the first node failure. May be called once.
+  // finish. Rethrows the first node failure, throws if any node never
+  // finished, and (when an auditor is installed) throws on any audit
+  // violation — the historical all-or-nothing contract for fault-free
+  // runs. May be called once per Simulator.
   void Run(const NodeProgram& program);
+
+  // Bounded-run variant for faulted executions: instead of throwing,
+  // classifies what happened into a RunOutcome (completed /
+  // non-termination / crashed-partition; callers that can verify the
+  // result refine kCompleted into kWrongResult). std::logic_error —
+  // programming bugs, not fault effects — still propagates. May be called
+  // once per Simulator, instead of Run.
+  RunOutcome RunToOutcome(const NodeProgram& program);
 
   const Metrics& GetMetrics() const { return metrics_; }
   RunStats Stats() const { return metrics_.Summarize(); }
+  // Null unless this run has an auditor installed.
+  const Auditor* GetAuditor() const { return auditor_.get(); }
+  const FaultStats& InjectedFaults() const;
 
  private:
+  // Shared body of Run/RunToOutcome: spawn, start, run until idle,
+  // rethrow the first failed node program.
+  void Execute(const NodeProgram& program);
+  std::uint64_t CountUnfinished() const;
+  void FillAuditSummary(RunOutcome& out) const;
+
   const WeightedGraph& graph_;
   SimulatorOptions options_;
   Metrics metrics_;
+  std::unique_ptr<Auditor> auditor_;  // before scheduler_: it borrows it
   Scheduler scheduler_;
   // Contexts must be address-stable across the run (coroutines hold
   // references); a deque keeps elements pinned while growing without one

@@ -1,9 +1,27 @@
 // Optional execution tracing.
 //
 // A TraceSink receives one event per (awake node, round) after delivery:
-// what the node sent and received. Intended for debugging node programs
-// and for teaching (the deterministic walkthrough); tracing a large run
-// is expensive by design — leave the sink null for measurement runs.
+// what the node sent and received, and what the fault-injection adversary
+// (if any) did to its sends. Intended for debugging node programs and for
+// teaching (the deterministic walkthrough); tracing a large run is
+// expensive by design — leave the sink null for measurement runs.
+//
+// Field semantics under fault injection (DESIGN.md §10):
+//  * `dropped` counts only *model* drops — sends whose receiver was
+//    asleep, the sleeping-model loss that also feeds the node's
+//    `messages_dropped` meter. A send the adversary destroyed is counted
+//    in `injected_drops` instead, never in both.
+//  * `injected_delays` counts sends deferred this round; the eventual
+//    late delivery (or loss) surfaces at the *receiver* via its inbox
+//    size (or the sender's `messages_dropped` meter), not as a second
+//    trace event for the sender.
+//  * `injected_dups` counts extra copies the adversary created from this
+//    node's sends this round (a duplicated delayed send counts here in
+//    the send round, even though both copies arrive later).
+//  * `received` is the inbox size, so it includes duplicates and late
+//    (delayed) arrivals.
+// Fault-free runs leave the three injected_* fields zero, and events are
+// bit-identical to those of a build without the fault layer.
 #pragma once
 
 #include <cstdint>
@@ -18,8 +36,11 @@ struct TraceEvent {
   std::uint64_t round = 0;
   NodeIndex node = kInvalidNode;
   std::uint32_t sent = 0;      // messages sent this round
-  std::uint32_t received = 0;  // messages received this round
+  std::uint32_t received = 0;  // messages received this round (inbox size)
   std::uint32_t dropped = 0;   // of the sent, how many hit sleepers
+  std::uint32_t injected_drops = 0;   // sends destroyed by the adversary
+  std::uint32_t injected_delays = 0;  // sends deferred by the adversary
+  std::uint32_t injected_dups = 0;    // extra copies created from sends
 };
 
 using TraceSink = std::function<void(const TraceEvent&)>;

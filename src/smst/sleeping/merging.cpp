@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "smst/faults/run_outcome.h"
 #include "smst/sleeping/procedures.h"
 
 namespace smst {
@@ -20,8 +21,11 @@ std::optional<Message> FromPort(std::span<const InMessage> inbox,
   return std::nullopt;
 }
 
+// Drop-free by construction in the sleeping model, so a protocol step
+// starved of its expected message is a fault effect (ProtocolStallError
+// classifies it as a crashed partition rather than a crash).
 [[noreturn]] void ProtocolError(const NodeContext& ctx, const std::string& what) {
-  throw std::runtime_error("MergingFragments: node " +
+  throw ProtocolStallError("MergingFragments: node " +
                            std::to_string(ctx.Id()) + ": " + what);
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "smst/faults/run_outcome.h"
+
 namespace smst {
 
 std::optional<Message> MessageFromPort(std::span<const InMessage> inbox,
@@ -31,7 +33,9 @@ Task<Message> FragmentBroadcast(NodeContext& ctx, const LdtState& ldt,
     auto inbox = co_await ctx.Awake(sched.down_receive);
     auto from_parent = FromPort(inbox, ldt.parent_port);
     if (!from_parent.has_value()) {
-      throw std::runtime_error(
+      // Drop-free by construction in the sleeping model, so a missing
+      // parent message is a fault effect: classified, not a crash.
+      throw ProtocolStallError(
           "FragmentBroadcast: node " + std::to_string(ctx.Id()) +
           " heard nothing from its parent in its Down-Receive round");
     }

@@ -47,6 +47,13 @@ flags:
   --seeds    run K seeded runs (seed .. seed+K-1) on the same graph  [1]
   --threads  worker threads for multi-seed runs (0 = all cores)      [0]
   --paper-phases    use the paper's fixed phase budget (randomized)
+  --fault-plan      adversary spec, e.g. 'drop=0.01,jitter=2' — comma-
+             separated drop=P | delay=K[:P] | dup=P | jitter=D[:P] |
+             crash=R[:P] items, each with optional @NODE filter, plus
+             salt=S (see faults/fault_plan.h). The run is classified
+             (completed / wrong-result / non-termination /
+             crashed-partition) instead of verified-or-die.
+  --audit    force the runtime invariant auditor on (Debug has it on)
   --energy   off | mote | wifi | ble                                 [off]
   --quiet    only the summary line
 )";
@@ -126,6 +133,14 @@ int main(int argc, char** argv) {
     if (args.GetBool("paper-phases", false)) {
       opt.termination = smst::TerminationMode::kPaperPhaseCount;
     }
+    smst::FaultPlan fault_plan;
+    const std::string fault_spec = args.GetString("fault-plan", "");
+    if (!fault_spec.empty()) {
+      fault_plan = smst::ParseFaultPlan(fault_spec);
+      opt.fault_plan = &fault_plan;
+    }
+    const bool faulted = !fault_plan.Empty();
+    if (args.GetBool("audit", false)) opt.audit = smst::AuditMode::kOn;
     const std::uint64_t num_seeds = args.GetUint("seeds", 1);
     const auto threads = static_cast<unsigned>(args.GetUint("threads", 0));
     if (auto unused = args.UnusedFlags(); !unused.empty()) {
@@ -151,7 +166,17 @@ int main(int argc, char** argv) {
       for (std::uint64_t s = 0; s < num_seeds; ++s) {
         const auto& r = runs[s];
         std::string verdict = "spanning tree";
-        if (algo != smst::MstAlgorithm::kBmSpanningTree) {
+        if (faulted) {
+          // Under an adversary the verdict is the classified outcome; a
+          // completed run that is not the exact MST is a wrong result.
+          auto status = r.outcome.status;
+          if (status == smst::RunStatus::kCompleted &&
+              algo != smst::MstAlgorithm::kBmSpanningTree &&
+              !smst::VerifyExactMst(g, r.tree_edges).ok) {
+            status = smst::RunStatus::kWrongResult;
+          }
+          verdict = smst::RunStatusName(status);
+        } else if (algo != smst::MstAlgorithm::kBmSpanningTree) {
           auto check = smst::VerifyExactMst(g, r.tree_edges);
           verdict = check.ok ? "exact MST" : "FAILED: " + check.error;
           all_ok = all_ok && check.ok;
@@ -180,7 +205,17 @@ int main(int argc, char** argv) {
 
     const auto r = smst::ComputeMst(g, algo, opt);
     std::string verdict = "spanning tree";
-    if (algo != smst::MstAlgorithm::kBmSpanningTree) {
+    smst::RunOutcome outcome = r.outcome;
+    if (faulted) {
+      if (outcome.Ok() && algo != smst::MstAlgorithm::kBmSpanningTree) {
+        auto check = smst::VerifyExactMst(g, r.tree_edges);
+        if (!check.ok) {
+          outcome.status = smst::RunStatus::kWrongResult;
+          outcome.detail = check.error;
+        }
+      }
+      verdict = std::string("outcome=") + smst::RunStatusName(outcome.status);
+    } else if (algo != smst::MstAlgorithm::kBmSpanningTree) {
       auto check = smst::VerifyExactMst(g, r.tree_edges);
       verdict = check.ok ? "exact MST (verified)" : "FAILED: " + check.error;
     }
@@ -213,6 +248,29 @@ int main(int argc, char** argv) {
                     smst::Table::Num(s.median, 0) + " / " +
                     smst::Table::Num(s.max, 0)});
       t.Print(std::cout);
+    }
+    if (faulted) {
+      const smst::FaultStats& f = outcome.faults;
+      std::cout << "fault-plan '" << fault_plan.ToString() << "': "
+                << smst::RunStatusName(outcome.status)
+                << (outcome.detail.empty() ? "" : " (" + outcome.detail + ")")
+                << "\n  injected: drops=" << f.injected_drops
+                << " delays=" << f.injected_delays << " (delivered "
+                << f.delayed_delivered << ", lost " << f.delayed_lost
+                << ") dups=" << f.injected_duplicates
+                << " jittered=" << f.jittered_wakes
+                << " crashed=" << f.crashed_nodes << " ("
+                << f.suppressed_wakes << " wakes suppressed)"
+                << "\n  unfinished nodes=" << outcome.unfinished_nodes
+                << " last round=" << outcome.last_round;
+      if (outcome.audited_awake_node_rounds != 0 ||
+          outcome.audit_violations != 0) {
+        std::cout << " | audit: awake node-rounds="
+                  << outcome.audited_awake_node_rounds
+                  << " model drops=" << outcome.audited_model_drops
+                  << " violations=" << outcome.audit_violations;
+      }
+      std::cout << "\n";
     }
     if (!dot_path.empty()) {
       std::ofstream dot(dot_path);
