@@ -48,6 +48,11 @@ WeightedGraph GraphBuilder::Build() && {
   WeightedGraph g;
   g.edges_ = std::move(edges_);
 
+  // Determinism audit: the three unordered_sets below are membership-only
+  // duplicate detectors — nothing ever iterates them, so hash order cannot
+  // reach the built graph. smst_lint's det-unordered-iter rule guards this
+  // from regressing; port tables below are built in edge-insertion order.
+
   // Distinct weights (required: makes the MST unique).
   {
     std::unordered_set<Weight> seen;

@@ -122,7 +122,10 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
           incoming_ports.push_back(m.port);
         }
       }
+      // Comparator runs synchronously inside std::sort; it never crosses
+      // a suspension point.
       std::sort(incoming_ports.begin(), incoming_ports.end(),
+                // smst-lint-disable-next-line(coro-ref-capture)
                 [&](std::uint32_t a, std::uint32_t b) {
                   return ctx.WeightAtPort(a) < ctx.WeightAtPort(b);
                 });
@@ -211,6 +214,9 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
       locals.push_back({moe_weight, nbr_frag[moe_port], true, moe_port});
     }
     std::vector<NbrEntry> nbr_info;
+    // Lambda and its captures are both locals of this coroutine frame and
+    // the lambda never escapes it, so the references stay valid across the
+    // co_awaits below. smst-lint-disable-next-line(coro-ref-capture)
     auto announced = [&](Weight w) {
       for (const NbrEntry& e : nbr_info) {
         if (e.weight == w) return true;
@@ -270,15 +276,17 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
       MergeRole role;
       if (is_blue && !nbr_info.empty()) {
         role.is_tails = true;
-        const NbrEntry* chosen = &nbr_info.front();
+        // By value, not by pointer: NbrEntry is three words, and a copy
+        // cannot go stale across the co_await below.
+        NbrEntry chosen = nbr_info.front();
         for (const NbrEntry& e : nbr_info) {
-          if (e.frag_id < chosen->frag_id ||
-              (e.frag_id == chosen->frag_id && e.weight < chosen->weight)) {
-            chosen = &e;
+          if (e.frag_id < chosen.frag_id ||
+              (e.frag_id == chosen.frag_id && e.weight < chosen.weight)) {
+            chosen = e;
           }
         }
         for (const LocalEntry& e : locals) {
-          if (e.weight == chosen->weight) role.attach_port = e.port;
+          if (e.weight == chosen.weight) role.attach_port = e.port;
         }
         if (role.is_tails && ldt.IsRoot()) {
           ctx.Probe(kProbeMergesAtPhase, phase);

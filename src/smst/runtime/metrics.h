@@ -71,8 +71,8 @@ class Metrics {
   void Probe(std::uint32_t kind, std::uint64_t key, std::int64_t delta = 1) {
     const ProbeKey k{kind, key};
     auto it = std::lower_bound(probes_.begin(), probes_.end(), k,
-                               [](const ProbeEntry& e, const ProbeKey& key) {
-                                 return e.first < key;
+                               [](const ProbeEntry& e, const ProbeKey& want) {
+                                 return e.first < want;
                                });
     if (it != probes_.end() && it->first == k) {
       it->second += delta;
@@ -83,8 +83,8 @@ class Metrics {
   std::int64_t ProbeValue(std::uint32_t kind, std::uint64_t key) const {
     const ProbeKey k{kind, key};
     auto it = std::lower_bound(probes_.begin(), probes_.end(), k,
-                               [](const ProbeEntry& e, const ProbeKey& key) {
-                                 return e.first < key;
+                               [](const ProbeEntry& e, const ProbeKey& want) {
+                                 return e.first < want;
                                });
     return it != probes_.end() && it->first == k ? it->second : 0;
   }

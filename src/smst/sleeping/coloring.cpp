@@ -209,6 +209,15 @@ std::uint64_t CvStep(std::uint64_t own, std::uint64_t parent) {
 }
 
 std::uint64_t Pack4(const std::array<std::uint64_t, 4>& c) {
+  // Values wider than a 16-bit lane would silently corrupt their left
+  // neighbor. Coordinates here are <= 95 after the first CV step (CvStep
+  // of two < 2^48 colors yields 2i+b <= 95), but guard the boundary: the
+  // first exchange must never pack a raw fragment ID.
+  for (std::uint64_t v : c) {
+    if (v >> 16 != 0) {
+      throw std::logic_error("Pack4: value exceeds the 16-bit lane budget");
+    }
+  }
   return c[0] | (c[1] << 16) | (c[2] << 32) | (c[3] << 48);
 }
 std::array<std::uint64_t, 4> Unpack4(std::uint64_t v) {

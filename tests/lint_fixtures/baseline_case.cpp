@@ -1,0 +1,18 @@
+// smst_lint fixture: two findings, one of which is baselined by
+// tests/lint_fixtures/baseline_case.txt. With that baseline applied,
+// exactly the det-wall-clock finding must survive. Lint input only —
+// never compiled.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int BaselinedLegacyCall() {
+  return rand();  // in baseline_case.txt: does not fail the run
+}
+
+long FreshViolation() {
+  return time(nullptr);  // not baselined: must fail the run
+}
+
+}  // namespace fixture

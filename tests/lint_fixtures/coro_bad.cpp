@@ -1,0 +1,38 @@
+// smst_lint fixture: coroutine-safety violations. The Task/awaitable
+// shapes mirror src/smst/runtime/task.h closely enough for the token
+// heuristics; lint input only — never compiled.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+struct Task {};
+struct Awaiter {};
+
+Awaiter NextRound();
+void Register(const std::uint64_t* slot);
+
+Task<int> RefCaptureInCoroutine(std::vector<int> xs) {
+  int floor = 10;
+  auto keep = [&](int v) { return v > floor; };  // coro-ref-capture
+  xs.erase(std::remove_if(xs.begin(), xs.end(), keep), xs.end());
+  co_await NextRound();
+  co_return static_cast<int>(xs.size());
+}
+
+Task<int> MissingCoReturn(int rounds) {  // coro-missing-co-return
+  for (int i = 0; i < rounds; ++i) {
+    co_await NextRound();
+  }
+}
+
+Task<int> LocalAddressAcrossAwait() {
+  std::uint64_t counter = 0;
+  Register(&counter);  // coro-local-addr
+  co_await NextRound();
+  co_return static_cast<int>(counter);
+}
+
+}  // namespace fixture

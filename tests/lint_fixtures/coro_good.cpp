@@ -1,0 +1,46 @@
+// smst_lint fixture: coroutine-adjacent code that must NOT be flagged.
+// Lint input only — never compiled.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+struct Task {};
+struct Awaiter {};
+
+Awaiter NextRound();
+void Register(const std::uint64_t* slot);
+
+Task<int> ValueCaptureInCoroutine(std::vector<int> xs) {
+  int floor = 10;
+  auto keep = [floor](int v) { return v > floor; };  // by value: fine
+  xs.erase(std::remove_if(xs.begin(), xs.end(), keep), xs.end());
+  co_await NextRound();
+  co_return static_cast<int>(xs.size());
+}
+
+Task<void> VoidTaskNeedsNoCoReturn(int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await NextRound();  // Task<void>: falling off the end is fine
+  }
+}
+
+Task<int> AddressAfterLastAwait() {
+  co_await NextRound();
+  std::uint64_t counter = 0;
+  Register(&counter);  // no later co_await: nothing can go stale
+  co_return static_cast<int>(counter);
+}
+
+int RefCaptureOutsideCoroutine(std::vector<int>& xs) {
+  int floor = 10;  // plain function: by-reference capture is idiomatic
+  auto keep = [&](int v) { return v > floor; };
+  return static_cast<int>(std::count_if(xs.begin(), xs.end(), keep));
+}
+
+Task<int> ForwardingNonCoroutine();
+Task<int> Forwarder() { return ForwardingNonCoroutine(); }  // not a coroutine
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// smst_lint fixture: determinism violations. Every flagged construct in
+// this file must be reported; lint_test.cpp asserts the exact set.
+// This file is lint input only — it is never compiled or linked.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int AmbientRandomness() {
+  int x = rand();                   // det-rand
+  srand(42);                        // det-rand
+  std::random_device dev;           // det-random-device
+  return x + static_cast<int>(dev());
+}
+
+long WallClock() {
+  long t = time(nullptr);                                // det-wall-clock
+  auto tp = std::chrono::steady_clock::now();            // det-wall-clock
+  auto wall = std::chrono::system_clock::now();          // det-wall-clock
+  return t + tp.time_since_epoch().count() +
+         wall.time_since_epoch().count();
+}
+
+int OrderLeaks() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  for (const auto& [k, v] : counts) {  // det-unordered-iter
+    sum += k + v;
+  }
+  std::unordered_set<int> seen;
+  auto it = seen.begin();  // det-unordered-iter
+  return sum + (it == seen.end() ? 0 : *it);
+}
+
+struct Node {
+  int id;
+};
+
+int PointerKeys(Node* a) {
+  std::map<Node*, int> by_addr;  // det-pointer-key
+  by_addr[a] = 1;
+  return by_addr.size();
+}
+
+}  // namespace fixture

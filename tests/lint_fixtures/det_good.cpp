@@ -1,0 +1,50 @@
+// smst_lint fixture: determinism look-alikes that must NOT be flagged.
+// This file is lint input only — it is never compiled or linked.
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Sampler {
+  int rand() const { return 4; }  // member named rand: calls are fine
+  long time(int zone) const { return zone; }
+};
+
+int MemberCallsNotFlagged(const Sampler& s) {
+  // Member access spelling of banned names is not ambient state.
+  return s.rand() + static_cast<int>(s.time(0));
+}
+
+int CommentAndStringImmunity() {
+  // Calls in comments are invisible: rand(); time(nullptr);
+  const char* doc = "call rand() or std::random_device at your peril";
+  const char* raw = R"(time(nullptr) inside a raw string
+  spanning lines with rand() mentions)";
+  /* block comment: srand(7); steady_clock::now() */
+  return doc[0] + raw[0];
+}
+
+int MembershipOnlyUnordered(const std::vector<int>& xs) {
+  // Insert/find without iteration leaks no hash order.
+  std::unordered_set<int> seen;
+  int dupes = 0;
+  for (int x : xs) {
+    if (!seen.insert(x).second) ++dupes;
+  }
+  return dupes;
+}
+
+int OrderedIterationFine(const std::map<std::string, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += static_cast<int>(k.size()) + v;
+  return sum;
+}
+
+int ValueKeysFine() {
+  std::map<std::string, int*> by_name;  // pointer *values* are fine as mapped
+  return by_name.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// smst_lint fixture: sleeping-model/CONGEST violations. Lives under a
+// `mst/` path segment so the directory-scoped rules apply, exactly as
+// they do to src/smst/mst/. Lint input only — never compiled.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Scheduler;  // congest-scheduler-access (x1: declaration names it)
+
+struct NodeContext {
+  Scheduler* scheduler;  // congest-scheduler-access
+};
+
+std::uint64_t TallyByFragment(const NodeContext& ctx) {
+  std::unordered_map<std::uint64_t, int> per_frag;  // det-unordered-protocol
+  (void)ctx;
+  return per_frag.size();
+}
+
+std::uint64_t PackLanesUnguarded(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c, std::uint64_t d) {
+  return a | (b << 16) | (c << 32) | (d << 48);  // congest-lane-pack
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// smst_lint fixture: every violation here carries a suppression comment,
+// so the expected finding count for this file is zero. Exercises the
+// same-line form, the next-line form, and the `*` wildcard. Lint input
+// only — never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+int SameLineSuppression() {
+  return rand();  // smst-lint-disable(det-rand)
+}
+
+long NextLineSuppression() {
+  // smst-lint-disable-next-line(det-wall-clock)
+  return time(nullptr);
+}
+
+int MultiRuleSuppression() {
+  // smst-lint-disable-next-line(det-rand, det-wall-clock)
+  return rand() + static_cast<int>(time(nullptr));
+}
+
+int WildcardSuppression() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  int sum = 0;
+  for (const auto& [k, v] : m) {  // smst-lint-disable(*)
+    sum += k + v;
+  }
+  return sum;
+}
+
+}  // namespace fixture

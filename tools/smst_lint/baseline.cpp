@@ -1,0 +1,74 @@
+#include "baseline.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace smst_lint {
+
+std::string Baseline::NormalizeLine(const std::string& line) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Baseline::KeyFor(const Finding& f,
+                             const std::vector<std::string>& source_lines) {
+  const std::string text = f.line >= 1 && f.line <= source_lines.size()
+                               ? NormalizeLine(source_lines[f.line - 1])
+                               : std::string();
+  return f.file + "|" + f.rule + "|" + text;
+}
+
+Baseline Baseline::Parse(const std::string& text,
+                         std::vector<std::string>* errors) {
+  Baseline b;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    // Two '|' separators minimum; the line text may itself contain '|'.
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      if (errors) {
+        errors->push_back("baseline line " + std::to_string(lineno) +
+                          ": expected path|rule|line-text");
+      }
+      continue;
+    }
+    b.Insert(line.substr(0, p1) + "|" + line.substr(p1 + 1, p2 - p1 - 1) +
+             "|" + NormalizeLine(line.substr(p2 + 1)));
+  }
+  return b;
+}
+
+std::string Baseline::Serialize() const {
+  std::string out =
+      "# smst_lint baseline — pre-existing findings that do not fail the "
+      "build.\n"
+      "# Format: path|rule-id|normalized source line. Regenerate with\n"
+      "#   smst_lint --write-baseline tools/smst_lint/baseline.txt\n"
+      "# Entries match on line *text*, not line numbers, so edits elsewhere\n"
+      "# in a file do not invalidate them. Remove entries as sites get "
+      "fixed.\n";
+  for (const std::string& k : keys_) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace smst_lint

@@ -1,0 +1,43 @@
+// smst_lint baseline: pre-existing findings that don't block the build.
+//
+// Entries key on (file, rule, normalized source line text) rather than
+// line numbers, so unrelated edits above a baselined site don't invalidate
+// the baseline. Format, one entry per line:
+//
+//   path|rule-id|normalized line text
+//
+// `#` starts a comment; blank lines are ignored. Normalization trims the
+// line and collapses runs of whitespace, so reformatting alone doesn't
+// unbaseline a finding (changing the code does — which is the point).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace smst_lint {
+
+class Baseline {
+ public:
+  // Parses baseline text (the file's contents). Unparseable lines are
+  // reported via `errors`.
+  static Baseline Parse(const std::string& text,
+                        std::vector<std::string>* errors);
+
+  static std::string NormalizeLine(const std::string& line);
+  static std::string KeyFor(const Finding& f,
+                            const std::vector<std::string>& source_lines);
+
+  bool Contains(const std::string& key) const { return keys_.count(key) != 0; }
+  void Insert(std::string key) { keys_.insert(std::move(key)); }
+
+  // Serialized, sorted, with a header comment — for --write-baseline.
+  std::string Serialize() const;
+
+ private:
+  std::set<std::string> keys_;
+};
+
+}  // namespace smst_lint

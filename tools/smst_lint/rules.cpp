@@ -1,0 +1,509 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace smst_lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+// ---------------------------------------------------------------------------
+// Path scoping. Rules that only make sense for protocol code key off the
+// directory segment, not the full prefix, so the fixture corpus under
+// tests/lint_fixtures/<segment>/ exercises them too.
+// ---------------------------------------------------------------------------
+
+bool HasDirSegment(std::string_view path, std::string_view segment) {
+  std::size_t pos = 0;
+  while ((pos = path.find(segment, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || path[pos - 1] == '/';
+    const std::size_t end = pos + segment.size();
+    const bool right_ok = end < path.size() && path[end] == '/';
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// Protocol dirs: iteration order / container choice can leak into message
+// contents and round behavior.
+bool InProtocolDir(std::string_view path) {
+  return HasDirSegment(path, "mst") || HasDirSegment(path, "sleeping") ||
+         HasDirSegment(path, "lower_bounds") || HasDirSegment(path, "energy");
+}
+
+// Algorithm dirs: node programs live here; the simulator internals are off
+// limits (the sleeping model's locality boundary).
+bool InAlgoDir(std::string_view path) {
+  return HasDirSegment(path, "mst") || HasDirSegment(path, "sleeping");
+}
+
+// ---------------------------------------------------------------------------
+// Token-walk helpers.
+// ---------------------------------------------------------------------------
+
+std::size_t MatchForward(const Tokens& t, std::size_t open,
+                         std::string_view open_s, std::string_view close_s) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].Is(open_s)) ++depth;
+    if (t[i].Is(close_s) && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::size_t MatchBackward(const Tokens& t, std::size_t close,
+                          std::string_view open_s, std::string_view close_s) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].Is(close_s)) ++depth;
+    if (t[i].Is(open_s) && --depth == 0) return i;
+  }
+  return 0;
+}
+
+bool IsAnyOf(const Token& tok, std::initializer_list<std::string_view> set) {
+  for (std::string_view s : set) {
+    if (tok.text == s) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction. A candidate body is a `{` preceded (modulo
+// cv/noexcept specifiers and constructor init lists) by `name(...)`.
+// Lambdas are excluded (their tokens stay inside the enclosing function's
+// span). This is a heuristic: local classes and function-try-blocks are
+// imperfectly handled, which is acceptable for lint purposes.
+// ---------------------------------------------------------------------------
+
+struct Fn {
+  std::string name;
+  std::uint32_t line = 0;        // line of the body's `{`
+  std::size_t body_begin = 0;    // index of `{`
+  std::size_t body_end = 0;      // index of matching `}` (or tokens.size())
+  bool returns_task = false;     // declared return type names Task<...>
+  bool task_void = false;        // ... and the payload is void / empty
+  bool has_co_await = false;
+  bool has_co_return = false;
+};
+
+std::vector<Fn> FindFunctions(const Tokens& t) {
+  std::vector<Fn> fns;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].Is("{")) continue;
+
+    // Scan back over trailing specifiers.
+    std::size_t j = i;
+    while (j > 0 && IsAnyOf(t[j - 1], {"const", "noexcept", "override",
+                                       "final", "mutable", "&", "&&"})) {
+      --j;
+    }
+    if (j == 0 || !t[j - 1].Is(")")) continue;
+
+    // Walk back through `) [: init-list]` to the parameter list of the
+    // function itself.
+    std::size_t close = j - 1;
+    std::size_t name_idx = 0;
+    while (true) {
+      const std::size_t open = MatchBackward(t, close, "(", ")");
+      if (open == 0) break;
+      const Token& before = t[open - 1];
+      if (before.kind != Token::Kind::kIdent) break;
+      if (IsAnyOf(before, {"if", "for", "while", "switch", "catch", "return",
+                           "co_await", "co_return", "sizeof", "alignof",
+                           "noexcept", "new", "delete"})) {
+        break;  // control flow / operator, not a function header
+      }
+      // Constructor init-list entry? Keep walking left.
+      if (open >= 2 && (t[open - 2].Is(",") || t[open - 2].Is(":")) &&
+          open >= 3 && t[open - 3].Is(")")) {
+        close = open - 3;
+        continue;
+      }
+      if (open >= 2 && (t[open - 2].Is(",") || t[open - 2].Is(":"))) {
+        // `: member_(x) {` where the thing left of `:`/`,` is not `)` —
+        // first init entry; hop over the `:` to the parameter list.
+        std::size_t k = open - 2;
+        while (k > 0 && !t[k].Is(":")) k = MatchBackward(t, k, "(", ")") - 1;
+        if (k > 0 && t[k - 1].Is(")")) {
+          close = k - 1;
+          continue;
+        }
+      }
+      name_idx = open - 1;
+      break;
+    }
+    if (name_idx == 0) continue;
+
+    Fn fn;
+    fn.name = t[name_idx].text;
+    fn.line = t[i].line;
+    fn.body_begin = i;
+    fn.body_end = MatchForward(t, i, "{", "}");
+
+    // Return type: scan left of the name for `Task <`.
+    for (std::size_t k = name_idx; k-- > 0;) {
+      const Token& tok = t[k];
+      if (IsAnyOf(tok, {";", "}", "{", ")", "(", "public", "private",
+                        "protected"})) {
+        break;
+      }
+      if (tok.IsIdent("Task") && k + 1 < t.size() && t[k + 1].Is("<")) {
+        fn.returns_task = true;
+        fn.task_void =
+            k + 2 < t.size() && (t[k + 2].Is("void") || t[k + 2].Is(">"));
+        break;
+      }
+    }
+
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      if (t[k].IsIdent("co_await") || t[k].IsIdent("co_yield")) {
+        fn.has_co_await = true;
+      }
+      if (t[k].IsIdent("co_return")) fn.has_co_return = true;
+    }
+    fns.push_back(std::move(fn));
+  }
+  return fns;
+}
+
+// ---------------------------------------------------------------------------
+// Shared small detectors.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+bool IsMemberAccess(const Tokens& t, std::size_t i) {
+  return i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+}
+
+// Locals declared as unordered containers within [begin, end):
+// `unordered_xxx < ... > [&*]* name`.
+std::map<std::string, std::uint32_t> UnorderedLocals(const Tokens& t,
+                                                     std::size_t begin,
+                                                     std::size_t end) {
+  std::map<std::string, std::uint32_t> vars;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != Token::Kind::kIdent || !kUnorderedTypes.count(t[i].text)) {
+      continue;
+    }
+    if (i + 1 >= end || !t[i + 1].Is("<")) continue;
+    std::size_t gt = i + 1;
+    int depth = 0;
+    for (; gt < end; ++gt) {
+      if (t[gt].Is("<")) ++depth;
+      if (t[gt].Is(">") && --depth == 0) break;
+      if (t[gt].Is(">>")) {
+        depth -= 2;
+        if (depth <= 0) break;
+      }
+    }
+    std::size_t k = gt + 1;
+    while (k < end && (t[k].Is("&") || t[k].Is("*"))) ++k;
+    if (k < end && t[k].kind == Token::Kind::kIdent) {
+      vars.emplace(t[k].text, t[k].line);
+    }
+  }
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// The rule packs.
+// ---------------------------------------------------------------------------
+
+class Analysis {
+ public:
+  explicit Analysis(const LexedFile& file)
+      : file_(file), t_(file.tokens), fns_(FindFunctions(file.tokens)) {}
+
+  std::vector<Finding> Run() {
+    DeterminismPack();
+    CongestPack();
+    CoroutinePack();
+
+    std::vector<Finding> kept;
+    for (Finding& f : findings_) {
+      if (!file_.suppressions.Suppressed(f.line, f.rule)) {
+        kept.push_back(std::move(f));
+      }
+    }
+    std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    return kept;
+  }
+
+ private:
+  void Flag(std::uint32_t line, std::string_view rule,
+            std::string_view message) {
+    findings_.push_back(
+        Finding{file_.path, line, std::string(rule), std::string(message)});
+  }
+
+  // --- determinism ------------------------------------------------------
+  void DeterminismPack() {
+    const auto unordered_vars = UnorderedLocals(t_, 0, t_.size());
+    const bool protocol_dir = InProtocolDir(file_.path);
+
+    for (std::size_t i = 0; i < t_.size(); ++i) {
+      const Token& tok = t_[i];
+      if (tok.kind != Token::Kind::kIdent) continue;
+      // A banned name preceded by a type-ish identifier is a declaration
+      // (`int rand() ...` declares a member, it doesn't call libc).
+      const bool declared =
+          i > 0 && t_[i - 1].kind == Token::Kind::kIdent &&
+          !IsAnyOf(t_[i - 1], {"return", "co_return", "co_await", "co_yield",
+                               "else", "do", "case"});
+      const bool called =
+          i + 1 < t_.size() && t_[i + 1].Is("(") && !declared;
+
+      if (called && !IsMemberAccess(t_, i) &&
+          IsAnyOf(tok, {"rand", "srand", "rand_r", "drand48", "lrand48",
+                        "mrand48", "random_shuffle"})) {
+        Flag(tok.line, "det-rand",
+             "C library randomness is seeded ambiently and breaks replay; "
+             "use the run's Xoshiro256 (util/prng.h)");
+      }
+      if (tok.Is("random_device")) {
+        Flag(tok.line, "det-random-device",
+             "std::random_device draws entropy outside the run seed; derive "
+             "streams with Xoshiro256::Split instead");
+      }
+      if (called && !IsMemberAccess(t_, i) &&
+          IsAnyOf(tok, {"time", "clock", "gettimeofday", "clock_gettime",
+                        "localtime", "gmtime", "mktime"})) {
+        Flag(tok.line, "det-wall-clock",
+             "wall-clock reads make runs irreproducible; simulation time is "
+             "Scheduler rounds, bench timing belongs in bench/");
+      }
+      if (IsAnyOf(tok, {"system_clock", "steady_clock",
+                        "high_resolution_clock", "utc_clock", "file_clock"}) &&
+          i + 2 < t_.size() && t_[i + 1].Is("::") && t_[i + 2].IsIdent("now")) {
+        Flag(tok.line, "det-wall-clock",
+             "std::chrono clock reads make runs irreproducible; simulation "
+             "time is Scheduler rounds, bench timing belongs in bench/");
+      }
+
+      if (protocol_dir && kUnorderedTypes.count(tok.text)) {
+        Flag(tok.line, "det-unordered-protocol",
+             "unordered containers are banned in protocol code "
+             "(mst/sleeping/lower_bounds/energy): hash order can leak into "
+             "messages and round behavior; use a sorted flat container");
+      }
+
+      // Iteration-order exposure of an unordered local.
+      if (kUnorderedTypes.count(tok.text)) continue;
+      if (unordered_vars.count(tok.text) == 0) continue;
+      if (i + 2 < t_.size() && t_[i + 1].Is(".") &&
+          IsAnyOf(t_[i + 2], {"begin", "cbegin", "rbegin", "crbegin"}) &&
+          i + 3 < t_.size() && t_[i + 3].Is("(")) {
+        Flag(tok.line, "det-unordered-iter",
+             "iterating an unordered container exposes hash order, which "
+             "varies across libraries and ASLR; sort first, or suppress with "
+             "a comment explaining why order is inert");
+      }
+    }
+
+    // Range-for over an unordered local.
+    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+      if (!t_[i].IsIdent("for") || !t_[i + 1].Is("(")) continue;
+      const std::size_t close = MatchForward(t_, i + 1, "(", ")");
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (!t_[k].Is(":")) continue;
+        if (k + 1 < close && t_[k + 1].kind == Token::Kind::kIdent &&
+            unordered_vars.count(t_[k + 1].text)) {
+          Flag(t_[k + 1].line, "det-unordered-iter",
+               "iterating an unordered container exposes hash order, which "
+               "varies across libraries and ASLR; sort first, or suppress "
+               "with a comment explaining why order is inert");
+        }
+        break;  // only the range-for colon
+      }
+    }
+
+    // Pointer-valued keys in ordered or unordered associative containers.
+    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+      if (t_[i].kind != Token::Kind::kIdent ||
+          !IsAnyOf(t_[i], {"map", "set", "unordered_map", "unordered_set",
+                           "multimap", "multiset"})) {
+        continue;
+      }
+      if (!t_[i + 1].Is("<")) continue;
+      int depth = 0;
+      std::size_t last = 0;  // last meaningful token of the first argument
+      for (std::size_t k = i + 1; k < t_.size(); ++k) {
+        if (t_[k].Is("<")) ++depth;
+        if (t_[k].Is(">") && --depth == 0) break;
+        if (t_[k].Is(">>") && (depth -= 2) <= 0) break;
+        if (t_[k].Is(",") && depth == 1) break;
+        last = k;
+      }
+      if (last != 0 && t_[last].Is("*")) {
+        Flag(t_[i].line, "det-pointer-key",
+             "pointer values as container keys order by address, which ASLR "
+             "randomizes run to run; key by index or ID instead");
+      }
+    }
+  }
+
+  // --- sleeping-model / CONGEST ----------------------------------------
+  void CongestPack() {
+    if (InAlgoDir(file_.path)) {
+      for (const Token& tok : t_) {
+        if (tok.kind == Token::Kind::kIdent &&
+            IsAnyOf(tok, {"Scheduler", "Simulator", "SimulatorOptions"})) {
+          Flag(tok.line, "congest-scheduler-access",
+               "algorithm code may only touch the network through "
+               "NodeContext::Awake/SendBatch; Scheduler/Simulator access "
+               "belongs to driver entry points (baseline those)");
+        }
+      }
+    }
+
+    // Lane packing (the coloring's Pack4 idiom: fields ORed into 16-bit
+    // lanes) without a width guard in the same function.
+    for (const Fn& fn : fns_) {
+      std::set<std::string> shifts;
+      std::uint32_t first_line = 0;
+      bool guarded = false;
+      for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+        if (t_[k].Is("<<") && k + 1 < fn.body_end &&
+            t_[k + 1].kind == Token::Kind::kNumber &&
+            IsAnyOf(t_[k + 1], {"16", "32", "48"})) {
+          shifts.insert(t_[k + 1].text);
+          if (first_line == 0) first_line = t_[k].line;
+        }
+        if (t_[k].kind == Token::Kind::kIdent &&
+            IsAnyOf(t_[k], {"assert", "static_assert", "throw"})) {
+          guarded = true;
+        }
+      }
+      if (shifts.size() >= 2 && !guarded) {
+        Flag(first_line, "congest-lane-pack",
+             "packing multiple values into 16-bit lanes without a width "
+             "guard; values wider than a lane silently corrupt neighbors — "
+             "assert each value fits before packing");
+      }
+    }
+  }
+
+  // --- coroutine safety -------------------------------------------------
+  void CoroutinePack() {
+    for (const Fn& fn : fns_) {
+      if (fn.returns_task && !fn.task_void && fn.has_co_await &&
+          !fn.has_co_return) {
+        Flag(fn.line, "coro-missing-co-return",
+             "value-returning Task coroutine never co_returns; flowing off "
+             "the end of a non-void coroutine is undefined behavior");
+      }
+      if (!fn.has_co_await) continue;
+
+      // By-reference lambda captures inside a coroutine.
+      for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+        if (!t_[k].Is("[")) continue;
+        if (k + 1 < fn.body_end && t_[k + 1].Is("[")) {  // [[attribute]]
+          k = MatchForward(t_, k, "[", "]");
+          continue;
+        }
+        // Subscript (`a[i]`, `](...)[0]`) vs lambda introducer.
+        const Token& prev = t_[k - 1];
+        const bool subscript = prev.kind == Token::Kind::kIdent
+                                   ? !IsAnyOf(prev, {"return", "co_return",
+                                                     "co_await", "co_yield"})
+                                   : prev.Is("]") || prev.Is(")");
+        const std::size_t close = MatchForward(t_, k, "[", "]");
+        if (!subscript) {
+          for (std::size_t m = k + 1; m < close; ++m) {
+            if (t_[m].Is("&") || t_[m].Is("&&")) {
+              Flag(t_[k].line, "coro-ref-capture",
+                   "by-reference lambda capture inside a coroutine; if the "
+                   "lambda outlives a suspension the captured frame slots "
+                   "dangle — capture by value, or suppress with a note that "
+                   "the lambda never crosses a co_await");
+              break;
+            }
+          }
+        }
+        k = close;
+      }
+
+      // Address of a local escaping before a later co_await.
+      std::set<std::string> locals;
+      for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+        if (t_[k].kind != Token::Kind::kIdent) continue;
+        const Token& prev = t_[k - 1];
+        const Token& next = t_[k + 1];
+        const bool decl_tail =
+            next.Is("=") || next.Is(";") || next.Is("{");
+        const bool type_ahead =
+            (prev.kind == Token::Kind::kIdent &&
+             !IsAnyOf(prev, {"return", "co_return", "co_await", "co_yield",
+                             "delete", "new", "goto", "else", "do", "throw",
+                             "case", "operator"})) ||
+            prev.Is(">") || prev.Is("*") || prev.Is("&");
+        if (decl_tail && type_ahead) locals.insert(t_[k].text);
+      }
+      std::size_t last_await = fn.body_begin;
+      for (std::size_t k = fn.body_end; k-- > fn.body_begin;) {
+        if (t_[k].IsIdent("co_await")) {
+          last_await = k;
+          break;
+        }
+      }
+      for (std::size_t k = fn.body_begin + 1; k + 1 < last_await; ++k) {
+        if (!t_[k].Is("&")) continue;
+        if (!IsAnyOf(t_[k - 1], {"=", "(", ",", "return"})) continue;
+        const Token& target = t_[k + 1];
+        if (target.kind != Token::Kind::kIdent || !locals.count(target.text)) {
+          continue;
+        }
+        if (k + 2 < t_.size() && t_[k + 2].Is("::")) continue;
+        Flag(t_[k].line, "coro-local-addr",
+             "address of a coroutine local escapes before a later co_await; "
+             "if the consumer dereferences it while this coroutine is "
+             "suspended the frame slot may be stale — pass by value or "
+             "suppress with a why-safe note");
+      }
+    }
+  }
+
+  const LexedFile& file_;
+  const Tokens& t_;
+  std::vector<Fn> fns_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<RuleDesc>& AllRules() {
+  static const std::vector<RuleDesc> kRules = {
+      {"det-rand", "C library randomness (rand/srand/drand48/...)"},
+      {"det-random-device", "std::random_device entropy outside the seed"},
+      {"det-wall-clock", "wall-clock reads (time/clock/chrono ::now)"},
+      {"det-unordered-iter", "iteration over an unordered container"},
+      {"det-unordered-protocol",
+       "unordered container in protocol dirs (mst/sleeping/lower_bounds/"
+       "energy)"},
+      {"det-pointer-key", "pointer values used as associative-container keys"},
+      {"congest-scheduler-access",
+       "Scheduler/Simulator access from algorithm dirs (mst/sleeping)"},
+      {"congest-lane-pack", "16-bit lane packing without a width guard"},
+      {"coro-ref-capture", "by-reference lambda capture in a coroutine"},
+      {"coro-missing-co-return",
+       "value-returning Task coroutine without co_return"},
+      {"coro-local-addr", "local address escaping before a later co_await"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> AnalyzeFile(const LexedFile& file) {
+  return Analysis(file).Run();
+}
+
+}  // namespace smst_lint

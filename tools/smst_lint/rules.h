@@ -1,0 +1,51 @@
+// smst_lint rule packs.
+//
+// Three packs, mirroring the project's correctness pillars (DESIGN.md §11):
+//
+//   det-*      determinism: no wall clocks, no ambient randomness, no
+//              iteration-order leaks from unordered containers, no
+//              pointer-valued keys.
+//   congest-*  sleeping-model/CONGEST locality: algorithm code touches the
+//              network only through NodeContext/Awake/SendBatch; lane
+//              packing carries a width guard.
+//   coro-*     coroutine safety: no by-reference lambda captures in
+//              coroutines, no value-returning Task without co_return, no
+//              local addresses escaping across a co_await.
+//
+// Every rule is a heuristic over the token stream (lexer.h) — precise
+// enough to catch the project's actual failure modes, suppressible with
+// `// smst-lint-disable(rule-id)` where a human has checked the site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace smst_lint {
+
+struct Finding {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string rule;
+  std::string message;
+  bool baselined = false;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct RuleDesc {
+  std::string_view id;
+  std::string_view summary;
+};
+
+// All rules, for --list-rules and docs.
+const std::vector<RuleDesc>& AllRules();
+
+// Runs every rule pack over one lexed file. Findings are sorted by
+// (line, rule) and already filtered through the file's inline
+// suppressions; baseline filtering happens later (baseline.h).
+std::vector<Finding> AnalyzeFile(const LexedFile& file);
+
+}  // namespace smst_lint
