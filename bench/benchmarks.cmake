@@ -28,6 +28,7 @@ set(SMST_BENCHES
   bench_adaptive_blocks.cpp
   bench_robustness.cpp
   bench_micro.cpp
+  bench_sharded.cpp
 )
 
 foreach(src ${SMST_BENCHES})

@@ -13,30 +13,17 @@
 
 namespace smst::bench {
 
-std::string JsonNum(double v) {
-  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
-    return std::to_string(static_cast<long long>(v));
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
+std::string JsonNum(double v) { return smst::JsonNum(v); }
 
-std::string JsonStr(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
+std::string JsonStr(const std::string& s) { return smst::JsonStr(s); }
 
 Harness::Harness(std::string experiment, int argc, char** argv)
     : experiment_(std::move(experiment)) {
   ArgParser args(argc, argv);
   runner_ = ParallelRunner(static_cast<unsigned>(args.GetUint("threads", 0)));
   seeds_override_ = args.GetUint("seeds", 0);
+  shards_ = static_cast<std::uint32_t>(args.GetUint("shards", 0));
+  shard_policy_ = ParseShardPolicy(args.GetString("shard-policy", "block"));
   const std::string json_path = args.GetString("json", "");
   if (!json_path.empty()) {
     json_.open(json_path);
@@ -49,7 +36,8 @@ Harness::Harness(std::string experiment, int argc, char** argv)
   }
   if (auto unused = args.UnusedFlags(); !unused.empty()) {
     std::cerr << "note: ignoring unknown flag --" << unused.front()
-              << " (harness flags: --threads N, --seeds K, --json PATH)\n";
+              << " (harness flags: --threads N, --seeds K, --json PATH, "
+                 "--shards K, --shard-policy block|rr)\n";
   }
 }
 
@@ -78,6 +66,11 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
     const WeightedGraph g = factory(n, seed);
     MstOptions options = base;
     options.seed = seed;
+    // Sharded engine selection is an execution detail: results are
+    // bit-identical for every shard count, so the sweep's cells stay a
+    // pure function of (n, seed) either way.
+    options.shards = shards_;
+    options.shard_policy = shard_policy_;
     // Each cell runs wholly on this worker thread, so the thread-local
     // counter difference is exactly this run's allocations. Graph
     // generation (above) and verification (below) are excluded: the

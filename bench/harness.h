@@ -8,6 +8,9 @@
 //      --threads N   worker threads (default: hardware concurrency)
 //      --seeds K     override the bench's per-cell seed count
 //      --json PATH   write JSON-lines records (schema: DESIGN.md §8)
+//      --shards K    run every cell on the K-shard simulator backend
+//                    (0 = serial; results are bit-identical either way)
+//      --shard-policy block|rr   node-to-shard partition policy
 //  * parallel execution of the cells via smst::ParallelRunner, with
 //    results identical to the serial loops the benches used to run
 //    (each cell's graph and randomness derive only from (n, seed));
@@ -26,6 +29,7 @@
 #include "smst/mst/options.h"
 #include "smst/mst/result.h"
 #include "smst/runtime/parallel_runner.h"
+#include "smst/util/json.h"
 
 namespace smst::bench {
 
@@ -83,6 +87,10 @@ class Harness {
     return seeds_override_ != 0 ? seeds_override_ : fallback;
   }
 
+  // Simulator shard count applied to every sweep cell (0 = serial).
+  std::uint32_t Shards() const { return shards_; }
+  ShardPolicy GetShardPolicy() const { return shard_policy_; }
+
   // Runs `algo` on factory(n, seed) for every n in `sizes` and seed in
   // [1, seeds], in parallel. With `verify`, every result is checked
   // against the reference MST (throws std::runtime_error on mismatch);
@@ -100,6 +108,8 @@ class Harness {
   std::string experiment_;
   ParallelRunner runner_{1};  // replaced from --threads in the constructor
   std::uint64_t seeds_override_ = 0;
+  std::uint32_t shards_ = 0;
+  ShardPolicy shard_policy_ = ShardPolicy::kContiguousBlocks;
   std::ofstream json_;
 };
 

@@ -105,6 +105,21 @@ struct FaultStats {
   std::uint64_t suppressed_wakes = 0;     // wakes swallowed by crash-stop
   std::uint64_t crashed_nodes = 0;        // nodes with >= 1 suppressed wake
 
+  // Adds `other`'s counters into this object. Every event is counted by
+  // exactly one shard session (message verdicts at the sender, delayed
+  // bookkeeping at the receiver, wake faults at the owner), so summing
+  // per-shard stats reproduces the serial engine's totals.
+  void MergeFrom(const FaultStats& other) {
+    injected_drops += other.injected_drops;
+    injected_delays += other.injected_delays;
+    delayed_delivered += other.delayed_delivered;
+    delayed_lost += other.delayed_lost;
+    injected_duplicates += other.injected_duplicates;
+    jittered_wakes += other.jittered_wakes;
+    suppressed_wakes += other.suppressed_wakes;
+    crashed_nodes += other.crashed_nodes;
+  }
+
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 

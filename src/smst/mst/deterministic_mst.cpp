@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -33,9 +34,14 @@ struct Shared {
   std::vector<LdtState> final_ldt;
   std::vector<std::uint64_t> phases_done;
   std::vector<std::vector<LdtState>> snapshots;
+  // Lazy growth races across shard workers; the telemetry path locks
+  // (same rationale as the randomized engine's Shared — cell contents
+  // are order-independent, everything else is disjoint-slot writes).
+  std::mutex snapshot_mutex;
 
   void Snapshot(std::uint64_t phase, NodeIndex v, const LdtState& ldt) {
     if (!record_snapshots) return;
+    std::lock_guard<std::mutex> lock(snapshot_mutex);
     if (snapshots.size() < phase) {
       snapshots.resize(phase, std::vector<LdtState>(g->NumNodes()));
     }
@@ -353,6 +359,8 @@ MstRunResult RunDeterministicMst(const WeightedGraph& g,
   sim_options.record_wake_times = options.record_wake_times;
   sim_options.fault_plan = options.fault_plan;
   sim_options.audit = options.audit;
+  sim_options.shards = options.shards;
+  sim_options.shard_policy = options.shard_policy;
   const bool faulted =
       options.fault_plan != nullptr && !options.fault_plan->Empty();
   Simulator sim(g, sim_options);

@@ -1,6 +1,7 @@
 #include "smst/mst/randomized_mst.h"
 
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -29,9 +30,16 @@ struct Shared {
   std::vector<LdtState> final_ldt;
   std::vector<std::uint64_t> phases_done;
   std::vector<std::vector<LdtState>> snapshots;
+  // Snapshots grow lazily as phases complete; under the sharded engine
+  // nodes on different workers hit that growth concurrently, so the
+  // telemetry path takes a lock. Every other Shared field is written at
+  // disjoint (node-indexed) slots and needs none. The final contents are
+  // order-independent: cell (phase-1, v) is written by exactly one node.
+  std::mutex snapshot_mutex;
 
   void Snapshot(std::uint64_t phase, NodeIndex v, const LdtState& ldt) {
     if (!record_snapshots) return;
+    std::lock_guard<std::mutex> lock(snapshot_mutex);
     if (snapshots.size() < phase) {
       snapshots.resize(phase, std::vector<LdtState>(g->NumNodes()));
     }
@@ -68,6 +76,8 @@ MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
   sim_options.record_wake_times = options.record_wake_times;
   sim_options.fault_plan = options.fault_plan;
   sim_options.audit = options.audit;
+  sim_options.shards = options.shards;
+  sim_options.shard_policy = options.shard_policy;
   const bool faulted =
       options.fault_plan != nullptr && !options.fault_plan->Empty();
   Simulator sim(g, sim_options);

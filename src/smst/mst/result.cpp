@@ -59,12 +59,14 @@ RunOutcome DriveProgram(Simulator& sim, const NodeProgram& program,
     sim.Run(program);
     // Run() already threw if the audit was not clean; surface the
     // auditor's meters so callers can cross-check them like in faulted
-    // runs (all-zero when no auditor is installed).
+    // runs (all-zero when no auditor ran). Audit() covers both engines
+    // (serial auditor, or summed shard auditors).
     RunOutcome out;
-    if (const Auditor* a = sim.GetAuditor()) {
-      out.audited_awake_node_rounds = a->AwakeNodeRounds();
-      out.audited_model_drops = a->ModelDrops();
-      out.audit_violations = a->ViolationCount();
+    const Simulator::AuditSummary a = sim.Audit();
+    if (a.audited) {
+      out.audited_awake_node_rounds = a.awake_node_rounds;
+      out.audited_model_drops = a.model_drops;
+      out.audit_violations = a.violations;
     }
     return out;
   }

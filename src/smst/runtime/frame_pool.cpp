@@ -1,6 +1,10 @@
 #include "smst/runtime/frame_pool.h"
 
+#include <cstddef>
+#include <mutex>
 #include <new>
+#include <utility>
+#include <vector>
 
 namespace smst {
 
@@ -14,25 +18,69 @@ constexpr std::size_t kGranularity = 64;
 constexpr std::size_t kMaxPooledBytes = 8192;
 constexpr std::size_t kNumBuckets = kMaxPooledBytes / kGranularity;
 
+// Fresh blocks are carved from slabs this large. One slab allocation
+// amortizes the allocator's per-request cost over thousands of frames,
+// which matters on worker threads: glibc grows a thread's malloc arena
+// in small syscall-metered steps, and under sandboxed kernels a
+// per-frame 4 KiB arena extension costs microseconds — spawning 10^6
+// node coroutines that way took seconds, versus milliseconds from
+// slabs (large requests go straight to mmap, bypassing the arena).
+constexpr std::size_t kSlabBytes = std::size_t{1} << 20;
+
 struct FreeBlock {
   FreeBlock* next;
 };
 
-// One arena per thread; see frame_pool.h for the threading rationale.
-// The destructor runs at thread exit and releases every pooled block,
-// so long-lived processes that churn worker threads do not accrete
-// dead arenas.
+// Process-lifetime slab and orphan store. Slabs are deliberately
+// immortal: a frame allocated on a sharded-engine worker is released on
+// the main thread at engine teardown, after the worker has exited, so
+// slab memory must outlive the thread that carved it. The registry
+// object itself is heap-born and never destroyed (see Registry()) so
+// exiting threads can donate during any stage of shutdown.
+//
+// What exiting threads donate under the mutex:
+//  * their free lists (per size class), so the parallel runner's next
+//    wave of workers reuses blocks instead of carving new slabs, and
+//  * the unused tail of their current slab (when it can still serve the
+//    largest size class), so thread churn strands at most 8 KiB per
+//    exit rather than up to a whole slab.
+//
+// Donations are kept as a stack of whole lists per size class, one
+// entry per donating thread, never spliced: donating is O(buckets)
+// (no walk to a tail), and a refilling thread adopts exactly one
+// donated list per bucket. K symmetric donors therefore feed K later
+// workers evenly — splicing everything into one chain would instead
+// hand the whole pool to whichever worker refills first and leave the
+// rest carving fresh (fault-expensive) slab pages.
+struct SlabRegistry {
+  std::mutex mu;
+  std::vector<FreeBlock*> orphan_lists[kNumBuckets];
+  std::vector<std::pair<char*, char*>> partial_slabs;
+};
+
+SlabRegistry& Registry() {
+  static SlabRegistry* r = new SlabRegistry;
+  return *r;
+}
+
+// One arena per thread: private free lists and a private bump region,
+// no synchronization on the allocate/release hot path. The registry
+// mutex is touched only when the bump region runs dry (once per slab,
+// i.e. once per ~16k small frames) and at thread exit.
 struct Arena {
   FreeBlock* heads[kNumBuckets] = {};
+  char* slab_cur = nullptr;
+  char* slab_end = nullptr;
   FramePoolStats stats;
 
   ~Arena() {
-    for (FreeBlock* head : heads) {
-      while (head != nullptr) {
-        FreeBlock* next = head->next;
-        ::operator delete(head);
-        head = next;
-      }
+    SlabRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      if (heads[b] != nullptr) reg.orphan_lists[b].push_back(heads[b]);
+    }
+    if (static_cast<std::size_t>(slab_end - slab_cur) >= kMaxPooledBytes) {
+      reg.partial_slabs.emplace_back(slab_cur, slab_end);
     }
   }
 };
@@ -43,23 +91,62 @@ constexpr std::size_t BucketOf(std::size_t bytes) {
   return (bytes + kGranularity - 1) / kGranularity - 1;
 }
 
+// Refills the calling thread's arena: adopts one donated free list per
+// empty size class (see the SlabRegistry comment for why one, not all),
+// then ensures the bump region can serve any pooled size class — from a
+// donated partial slab if one is waiting, else a fresh slab.
+void Refill(Arena& a) {
+  SlabRegistry& reg = Registry();
+  bool need_slab;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      if (a.heads[b] != nullptr || reg.orphan_lists[b].empty()) continue;
+      a.heads[b] = reg.orphan_lists[b].back();
+      reg.orphan_lists[b].pop_back();
+    }
+    need_slab =
+        static_cast<std::size_t>(a.slab_end - a.slab_cur) < kMaxPooledBytes;
+    if (need_slab && !reg.partial_slabs.empty()) {
+      std::tie(a.slab_cur, a.slab_end) = reg.partial_slabs.back();
+      reg.partial_slabs.pop_back();
+      need_slab = false;
+    }
+  }
+  if (need_slab) {
+    char* slab = static_cast<char*>(::operator new(kSlabBytes));
+    a.slab_cur = slab;
+    a.slab_end = slab + kSlabBytes;
+  }
+}
+
 }  // namespace
 
 void* FrameAllocate(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
-  if (bytes <= kMaxPooledBytes) {
-    Arena& a = t_arena;
-    const std::size_t b = BucketOf(bytes);
-    if (FreeBlock* block = a.heads[b]) {
-      a.heads[b] = block->next;
-      ++a.stats.pool_hits;
-      return block;
-    }
-    ++a.stats.fresh_blocks;
-    return ::operator new((b + 1) * kGranularity);
+  if (bytes > kMaxPooledBytes) {
+    ++t_arena.stats.oversized;
+    return ::operator new(bytes);
   }
-  ++t_arena.stats.oversized;
-  return ::operator new(bytes);
+  Arena& a = t_arena;
+  const std::size_t b = BucketOf(bytes);
+  const std::size_t block = (b + 1) * kGranularity;
+  for (;;) {
+    if (FreeBlock* head = a.heads[b]) {
+      a.heads[b] = head->next;
+      ++a.stats.pool_hits;
+      return head;
+    }
+    if (static_cast<std::size_t>(a.slab_end - a.slab_cur) >= block) {
+      void* p = a.slab_cur;
+      a.slab_cur += block;
+      ++a.stats.fresh_blocks;
+      return p;
+    }
+    // At most one Refill per allocation: afterwards the bump region
+    // holds at least kMaxPooledBytes, so the carve above succeeds.
+    Refill(a);
+  }
 }
 
 void FrameDeallocate(void* p, std::size_t bytes) noexcept {

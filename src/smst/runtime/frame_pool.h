@@ -10,14 +10,22 @@
 //
 // Threading design (deliberate, verified by the TSan CI job's
 // oversubscribed parallel-runner sweep): the arena is *thread-local*.
-// Each worker thread of the parallel runner owns a private set of free
-// lists and never touches another thread's, so there is no
-// synchronization on the hot path and no false sharing between workers.
-// A frame freed on a different thread than the one that allocated it is
-// simply recycled into the *freeing* thread's arena — correct, because
-// blocks carry no owner; in practice this never happens, since a
-// Simulator runs entirely on one thread. Pooled blocks are returned to
-// the system when their thread exits.
+// Each worker thread owns a private set of free lists and a private
+// bump region, so there is no synchronization on the hot path and no
+// false sharing between workers. Fresh blocks are carved from large
+// process-lifetime slabs rather than allocated one by one — per-frame
+// heap allocation grows a worker thread's malloc arena in syscall-sized
+// steps, which is ruinously slow on sandboxed kernels (see the note in
+// frame_pool.cpp). Because slabs never die, a frame may legally outlive
+// the thread that allocated it: the sharded engine's workers spawn
+// frames that the main thread releases at teardown, and the block is
+// then recycled into the *freeing* thread's arena — which is why the
+// sharded engine tears shards down on per-shard reaper threads rather
+// than the main thread. Exiting threads donate their free lists (and
+// slab remainder) to a mutex-protected registry; later threads adopt
+// one donated list per size class, so K symmetric donors feed the next
+// run's K workers evenly, and churning workers through the parallel
+// runner recycles blocks instead of accreting dead arenas.
 //
 // Build the library with -DSMST_NO_FRAME_POOL (CMake option
 // SMST_NO_FRAME_POOL) to bypass the pool entirely: frames then go
@@ -39,6 +47,31 @@ void* FrameAllocate(std::size_t bytes);
 // be the allocation size (coroutine deallocation is sized, so the
 // bucket is recomputed instead of stored per block).
 void FrameDeallocate(void* p, std::size_t bytes) noexcept;
+
+// Standard-allocator shim over the pool, for node-count-sized
+// containers that must grow on worker threads (the sharded backend's
+// per-shard NodeContext deque). Growing such a container through plain
+// malloc trips the same cold-arena pathology the pool exists to avoid;
+// routing its chunks here makes them slab-carved instead. Oversized
+// requests (a deque's pointer map, say) fall through to global
+// operator new exactly like oversized frames do.
+template <class T>
+struct FramePoolAllocator {
+  using value_type = T;
+  FramePoolAllocator() noexcept = default;
+  template <class U>
+  FramePoolAllocator(const FramePoolAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(FrameAllocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    FrameDeallocate(p, n * sizeof(T));
+  }
+  friend bool operator==(const FramePoolAllocator&,
+                         const FramePoolAllocator&) noexcept {
+    return true;
+  }
+};
 
 // Introspection for tests and benches: counters for the calling
 // thread's arena only.

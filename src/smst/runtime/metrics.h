@@ -93,6 +93,13 @@ class Metrics {
 
   RunStats Summarize() const;
 
+  // Adds `other`'s meters into this object (sharded backend: one full-
+  // size Metrics per shard, merged in fixed shard order). Counters sum;
+  // last round and the message-bit peak take the max; probes key-sum;
+  // wake times append (only a node's owner shard records them, so at
+  // most one source contributes per node). Requires equal node counts.
+  void MergeFrom(const Metrics& other);
+
  private:
   std::vector<NodeMetrics> per_node_;
   bool record_wake_times_ = false;

@@ -155,24 +155,53 @@ void Scheduler::RunUntilIdle() {
                                 std::to_string(r) + " (max " +
                                 std::to_string(max_rounds_) + ")");
     }
-    // Stage every bucket of round r; resumed coroutines push only
-    // strictly later rounds (Register enforces it), so the heap front is
-    // stable until RunRound returns.
-    round_wakers_.clear();
-    while (!heap_.empty() && heap_.front().round == r) {
-      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-      std::vector<PendingWake*>& bucket = buckets_[heap_.back().bucket];
-      round_wakers_.insert(round_wakers_.end(), bucket.begin(), bucket.end());
-      bucket.clear();  // keeps capacity for reuse
-      if (open_bucket_ == heap_.back().bucket) open_bucket_ = kNoBucket;
-      free_buckets_.push_back(heap_.back().bucket);
-      heap_.pop_back();
-    }
-    RunRound(r);
+    StageRound(r);
+    DeliverAndResume();
   }
   // Delayed messages still parked when every node is done (or crashed)
   // can never be delivered; expire them so the model-drop books balance.
   if (!delayed_.empty()) DrainDelayed(kMaxRound);
+}
+
+void Scheduler::StageRound(Round r) {
+  current_round_ = r;
+  metrics_.SetLastRound(r);
+  // Stage every bucket of round r; resumed coroutines push only strictly
+  // later rounds (Register enforces it), so the heap front is stable
+  // until the round finishes.
+  round_wakers_.clear();
+  while (!heap_.empty() && heap_.front().round == r) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    std::vector<PendingWake*>& bucket = buckets_[heap_.back().bucket];
+    round_wakers_.insert(round_wakers_.end(), bucket.begin(), bucket.end());
+    bucket.clear();  // keeps capacity for reuse
+    if (open_bucket_ == heap_.back().bucket) open_bucket_ = kNoBucket;
+    free_buckets_.push_back(heap_.back().bucket);
+    heap_.pop_back();
+  }
+  // Canonical round order: ascending node index, regardless of
+  // registration history. Delivery and resume order therefore depend
+  // only on *which* nodes are awake, which is what makes a sharded run
+  // bit-identical to a serial one (DESIGN.md §7, §12). Each node appears
+  // at most once per round, so the sort key is strict.
+  std::sort(round_wakers_.begin(), round_wakers_.end(),
+            [](const PendingWake* a, const PendingWake* b) {
+              return a->node < b->node;
+            });
+
+  for (PendingWake* w : round_wakers_) {
+    if (awake_now_[w->node] != nullptr) {
+      // Two live PendingWakes for one node would silently clobber each
+      // other's delivery state; only direct Register misuse can get here
+      // (a coroutine is suspended while its wake is queued), but fail
+      // loudly in every build type rather than corrupt the run.
+      throw std::logic_error("node " + std::to_string(w->node) +
+                             " registered awake twice in round " +
+                             std::to_string(r));
+    }
+    awake_now_[w->node] = w;
+    SMST_AUDIT_HOOK(OnAwake(r, w->node));
+  }
 }
 
 void Scheduler::DrainDelayed(Round r) {
@@ -197,23 +226,8 @@ void Scheduler::DrainDelayed(Round r) {
   }
 }
 
-void Scheduler::RunRound(Round r) {
-  current_round_ = r;
-  metrics_.SetLastRound(r);
-
-  for (PendingWake* w : round_wakers_) {
-    if (awake_now_[w->node] != nullptr) {
-      // Two live PendingWakes for one node would silently clobber each
-      // other's delivery state; only direct Register misuse can get here
-      // (a coroutine is suspended while its wake is queued), but fail
-      // loudly in every build type rather than corrupt the run.
-      throw std::logic_error("node " + std::to_string(w->node) +
-                             " registered awake twice in round " +
-                             std::to_string(r));
-    }
-    awake_now_[w->node] = w;
-    SMST_AUDIT_HOOK(OnAwake(r, w->node));
-  }
+void Scheduler::DeliverAndResume() {
+  const Round r = current_round_;
 
   // Adversary-delayed messages fall due before this round's own sends so
   // a late message and a fresh same-round message arrive in age order.
@@ -231,7 +245,8 @@ void Scheduler::RunRound(Round r) {
     // table base and the precomputed receiver-port row.
     const Port* ports = graph_.PortsOf(w->node).data();
     const std::uint32_t* reverse = reverse_ports_.data() + port_offset_[w->node];
-    for (const OutMessage& out : w->sends) {
+    for (std::uint32_t bp = 0; bp < w->sends.size(); ++bp) {
+      const OutMessage& out = w->sends[bp];
       const Port& port = ports[out.port];
       ++nm.messages_sent;
       const std::uint64_t bits = out.msg.BitSize();
@@ -249,18 +264,17 @@ void Scheduler::RunRound(Round r) {
           continue;
         }
         if (verdict.delay != 0) {
-          delayed_.push_back(DelayedMessage{r + verdict.delay, delayed_seq_++,
-                                            w->node, port.neighbor,
+          delayed_.push_back(DelayedMessage{r + verdict.delay, r, w->node, bp,
+                                            /*copy=*/0, port.neighbor,
                                             reverse[out.port], out.msg});
           std::push_heap(delayed_.begin(), delayed_.end(), std::greater<>{});
           if (trace_) ++round_trace_[wi].injected_delays;
           if (verdict.duplicate) {
             // The duplicate of a delayed message is also delayed (one
             // extra copy in the same deferred round).
-            delayed_.push_back(DelayedMessage{r + verdict.delay,
-                                              delayed_seq_++, w->node,
-                                              port.neighbor, reverse[out.port],
-                                              out.msg});
+            delayed_.push_back(DelayedMessage{r + verdict.delay, r, w->node,
+                                              bp, /*copy=*/1, port.neighbor,
+                                              reverse[out.port], out.msg});
             std::push_heap(delayed_.begin(), delayed_.end(), std::greater<>{});
             if (trace_) ++round_trace_[wi].injected_dups;
           }

@@ -32,6 +32,7 @@
 namespace smst {
 
 class Auditor;
+class ShardedEngine;
 
 using Round = std::uint64_t;
 
@@ -81,6 +82,13 @@ class Scheduler {
 
   Round CurrentRound() const { return current_round_; }
   bool HasPending() const { return !heap_.empty(); }
+  // Earliest round with a registered wake (kMaxRound if none). The
+  // sharded driver's round barrier reduces this over all shards to pick
+  // the next global round; delayed messages never create rounds (one
+  // parked for a round nobody wakes in is lost, as in the serial engine).
+  Round NextPendingRound() const {
+    return heap_.empty() ? kMaxRound : heap_.front().round;
+  }
 
   void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
 
@@ -88,6 +96,12 @@ class Scheduler {
   const FaultStats& InjectedFaults() const { return faults_.Stats(); }
 
  private:
+  // The sharded engine (runtime/sharded/engine.cpp) drives the same
+  // staging / delivery / resume machinery phase by phase across worker
+  // threads; it is the one sanctioned out-of-module user of these
+  // internals (DESIGN.md §12).
+  friend class ShardedEngine;
+
   // Pending wakes live in a binary min-heap of (round, seq, bucket)
   // entries over a pool of reusable bucket vectors. Consecutive
   // registrations for the same round — the dominant pattern, since a
@@ -98,9 +112,10 @@ class Scheduler {
   // the heap's backing vector, and the per-round scratch buffers below
   // all recycle their capacity across the run's millions of rounds.
   //
-  // The seq tiebreak keeps resume order FIFO in registration order (a
-  // bucket holds a contiguous registration subsequence, and buckets of
-  // one round pop in first-seq order), matching the map bit for bit.
+  // The seq tiebreak gives the heap a strict order (buckets of one round
+  // pop in registration order); the staged wakers are then sorted into
+  // the canonical ascending-node-index round order (DESIGN.md §7), which
+  // is what keeps serial and sharded executions bit-identical.
   struct QueueEntry {
     Round round;
     std::uint64_t seq;
@@ -112,17 +127,27 @@ class Scheduler {
   static constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
 
   // An adversary-delayed message parked until its due round. Ordered by
-  // (due, seq) so the drain order — hence duplicate inbox order and drop
-  // attribution — is deterministic.
+  // the canonical key (due, birth_round, src, batch_pos, copy) — the
+  // message's invariant coordinates rather than an insertion counter —
+  // so the drain order (hence duplicate inbox order and drop
+  // attribution) is deterministic *and* independent of which shard
+  // parked the message. With the canonical ascending-node round order,
+  // this key sorts exactly like the serial insertion order did.
   struct DelayedMessage {
     Round due;
-    std::uint64_t seq;
+    Round birth_round;  // the round the message was sent in
     NodeIndex src;
+    std::uint32_t batch_pos;  // index within the sender's send batch
+    std::uint8_t copy;        // 0 = original, 1 = adversary duplicate
     NodeIndex dst;
     std::uint32_t dst_port;
     Message msg;
     bool operator>(const DelayedMessage& o) const {
-      return due != o.due ? due > o.due : seq > o.seq;
+      if (due != o.due) return due > o.due;
+      if (birth_round != o.birth_round) return birth_round > o.birth_round;
+      if (src != o.src) return src > o.src;
+      if (batch_pos != o.batch_pos) return batch_pos > o.batch_pos;
+      return copy > o.copy;
     }
   };
 
@@ -134,8 +159,15 @@ class Scheduler {
     std::uint32_t injected_dups = 0;
   };
 
-  // Runs round `r` for the wakes staged in `round_wakers_`.
-  void RunRound(Round r);
+  // Pops every bucket of round `r` into round_wakers_, sorts them into
+  // the canonical ascending-node order, populates awake_now_ (throwing
+  // on double registration), and advances the round clock. Staging no
+  // wakers (the shard has nothing due in a global round) is legal.
+  void StageRound(Round r);
+  // Serial remainder of a round for the staged wakers: drain delayed
+  // messages, deliver sends, resume. The sharded engine replaces this
+  // with its collect / exchange / receive phases.
+  void DeliverAndResume();
   // Delivers or expires delayed messages with due <= r; called after
   // awake_now_ is populated for round r (and with r = kMaxRound at the
   // end of the run, expiring everything still parked).
@@ -163,7 +195,6 @@ class Scheduler {
   // Min-heap of adversary-delayed messages (std::*_heap with
   // std::greater); empty for a null plan.
   std::vector<DelayedMessage> delayed_;
-  std::uint64_t delayed_seq_ = 0;
   // CSR over ports, aligned with WeightedGraph's port tables:
   // reverse_ports_[port_offset_[v] + p] is the port index *at the
   // neighbor* for node v's port p. Precomputed so delivery resolves the

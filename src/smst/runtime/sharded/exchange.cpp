@@ -1,0 +1,44 @@
+#include "smst/runtime/sharded/exchange.h"
+
+#include <bit>
+
+namespace smst {
+
+SpscRing::SpscRing(std::size_t capacity_pow2)
+    : buf_(std::bit_ceil(capacity_pow2 < 2 ? 2 : capacity_pow2)),
+      mask_(buf_.size() - 1) {}
+
+void SpscRing::Push(const WireEntry& e) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= buf_.size()) {
+    // Ring full. Spilling (instead of resizing or spinning) keeps Push
+    // wait-free and the ring allocation-free at steady state; the spill
+    // is only read after the round barrier, so no synchronization here.
+    spill_.push_back(e);
+    return;
+  }
+  buf_[tail & mask_] = e;
+  tail_.store(tail + 1, std::memory_order_release);
+}
+
+void SpscRing::DrainInto(std::vector<WireEntry>& out) {
+  std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  while (head != tail) {
+    out.push_back(buf_[head & mask_]);
+    ++head;
+  }
+  head_.store(head, std::memory_order_release);
+  if (!spill_.empty()) {
+    // Entries spill only after the ring filled, so ring-then-spill is
+    // push order.
+    out.insert(out.end(), spill_.begin(), spill_.end());
+    spill_.clear();
+  }
+}
+
+ShardExchange::ShardExchange(std::uint32_t shards)
+    : shards_(shards), rings_(static_cast<std::size_t>(shards) * shards) {}
+
+}  // namespace smst

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "smst/faults/auditor.h"
+#include "smst/runtime/sharded/engine.h"
 
 namespace smst {
 
@@ -41,33 +42,66 @@ SchedulerOptions MakeSchedulerOptions(const SimulatorOptions& o,
 }  // namespace
 
 Simulator::Simulator(const WeightedGraph& graph, SimulatorOptions options)
-    : graph_(graph),
-      options_(std::move(options)),
-      metrics_(graph.NumNodes()),
-      auditor_(WantAuditor(options_.audit) ? std::make_unique<Auditor>(graph)
-                                           : nullptr),
-      scheduler_(graph, metrics_, MakeSchedulerOptions(options_,
-                                                       auditor_.get())) {
+    : graph_(graph), options_(std::move(options)), metrics_(graph.NumNodes()) {
   if (options_.record_wake_times) metrics_.EnableWakeTimes();
-  if (options_.trace) scheduler_.SetTraceSink(options_.trace);
+  if (options_.shards > 0) {
+    if (options_.trace) {
+      // A sender's model-drop counts are only known receiver-side after
+      // the exchange barrier, so exact per-sender trace events cannot be
+      // emitted shard-locally. Tracing is a debugging feature; use the
+      // serial engine for it.
+      throw std::invalid_argument(
+          "tracing requires the serial engine (shards = 0)");
+    }
+    ShardedEngineOptions e;
+    e.shards = options_.shards;
+    e.policy = options_.shard_policy;
+    e.seed = options_.seed;
+    e.max_rounds = options_.max_rounds;
+    e.record_wake_times = options_.record_wake_times;
+    e.fault_plan = options_.fault_plan;
+    e.audit = WantAuditor(options_.audit);
+    sharded_ = std::make_unique<ShardedEngine>(graph_, e);
+    return;
+  }
+  auditor_ = WantAuditor(options_.audit) ? std::make_unique<Auditor>(graph)
+                                         : nullptr;
+  scheduler_ = std::make_unique<Scheduler>(
+      graph, metrics_, MakeSchedulerOptions(options_, auditor_.get()));
+  if (options_.trace) scheduler_->SetTraceSink(options_.trace);
 }
 
 Simulator::~Simulator() = default;
 
 const FaultStats& Simulator::InjectedFaults() const {
-  return scheduler_.InjectedFaults();
+  return sharded_ ? sharded_->InjectedFaults() : scheduler_->InjectedFaults();
 }
 
 void Simulator::Execute(const NodeProgram& program) {
   if (ran_) throw std::logic_error("Simulator may run only once");
   ran_ = true;
 
+  if (sharded_) {
+    // The engine owns the per-shard contexts and runners; it merges the
+    // per-shard metrics into its totals before rethrowing shard-level
+    // failures, so metrics_ is consistent on every exit path.
+    try {
+      sharded_->Execute(program);
+    } catch (...) {
+      sharded_->MergeMetricsInto(metrics_);
+      throw;
+    }
+    sharded_->MergeMetricsInto(metrics_);
+    sharded_->RethrowFirstNodeFailure();
+    return;
+  }
+
   Xoshiro256 root_rng(options_.seed);
   runners_.reserve(graph_.NumNodes());
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     // Each node's private randomness is a substream keyed by its index so
     // runs are reproducible regardless of scheduling order.
-    contexts_.emplace_back(graph_, v, scheduler_, metrics_,
+    contexts_.emplace_back(graph_, v, *scheduler_, metrics_,
                            root_rng.Split(v));
   }
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
@@ -78,7 +112,7 @@ void Simulator::Execute(const NodeProgram& program) {
   // nodes registered before the first round executes.
   for (TaskRunner& r : runners_) r.Start();
 
-  scheduler_.RunUntilIdle();
+  scheduler_->RunUntilIdle();
 
   // Rethrow failures before the never-finished check: a node that threw
   // (e.g. Scheduler::Register rejecting a bad wake from inside the Awake
@@ -90,6 +124,7 @@ void Simulator::Execute(const NodeProgram& program) {
 }
 
 std::uint64_t Simulator::CountUnfinished() const {
+  if (sharded_) return sharded_->CountUnfinished();
   std::uint64_t unfinished = 0;
   for (const TaskRunner& r : runners_) {
     if (!r.Done()) ++unfinished;
@@ -97,15 +132,44 @@ std::uint64_t Simulator::CountUnfinished() const {
   return unfinished;
 }
 
+Simulator::AuditSummary Simulator::Audit() const {
+  if (sharded_) return sharded_audit_;
+  AuditSummary s;
+  if (auditor_) {
+    s.audited = true;
+    s.awake_node_rounds = auditor_->AwakeNodeRounds();
+    s.model_drops = auditor_->ModelDrops();
+    s.violations = auditor_->ViolationCount();
+    s.report = auditor_->Report();
+  }
+  return s;
+}
+
 void Simulator::FillAuditSummary(RunOutcome& out) const {
-  if (!auditor_) return;
-  out.audited_awake_node_rounds = auditor_->AwakeNodeRounds();
-  out.audited_model_drops = auditor_->ModelDrops();
-  out.audit_violations = auditor_->ViolationCount();
+  const AuditSummary s = Audit();
+  if (!s.audited) return;
+  out.audited_awake_node_rounds = s.awake_node_rounds;
+  out.audited_model_drops = s.model_drops;
+  out.audit_violations = s.violations;
 }
 
 void Simulator::Run(const NodeProgram& program) {
   Execute(program);
+  if (sharded_) {
+    const NodeIndex v = sharded_->FirstUnfinishedNode();
+    if (v != kInvalidNode) {
+      throw std::runtime_error(
+          "node " + std::to_string(v) +
+          " never finished (suspended with an empty wake queue)");
+    }
+    const ShardedEngine::AuditTotals t = sharded_->CheckAndSummarizeAudit();
+    sharded_audit_ = AuditSummary{t.audited, t.awake_node_rounds,
+                                  t.model_drops, t.violations, t.report};
+    if (sharded_audit_.audited && sharded_audit_.violations != 0) {
+      throw std::runtime_error(sharded_audit_.report);
+    }
+    return;
+  }
   for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
     if (!runners_[v].Done()) {
       throw std::runtime_error(
@@ -151,11 +215,15 @@ RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
                  "and the peers they stranded)";
   }
   out.last_round = metrics_.LastRound();
-  out.faults = scheduler_.InjectedFaults();
-  if (auditor_) {
+  out.faults = InjectedFaults();
+  if (sharded_) {
+    const ShardedEngine::AuditTotals t = sharded_->CheckAndSummarizeAudit();
+    sharded_audit_ = AuditSummary{t.audited, t.awake_node_rounds,
+                                  t.model_drops, t.violations, t.report};
+  } else if (auditor_) {
     auditor_->CheckAwakeMeter(metrics_);
-    FillAuditSummary(out);
   }
+  FillAuditSummary(out);
   return out;
 }
 

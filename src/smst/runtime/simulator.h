@@ -7,17 +7,20 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "smst/faults/fault_plan.h"
 #include "smst/faults/run_outcome.h"
 #include "smst/graph/graph.h"
 #include "smst/runtime/metrics.h"
 #include "smst/runtime/node.h"
+#include "smst/runtime/sharded/partition.h"
 #include "smst/runtime/task.h"
 
 namespace smst {
 
 class Auditor;
+class ShardedEngine;
 
 // Whether this run gets a runtime invariant auditor (see faults/auditor.h).
 // kDefault = on in builds configured with SMST_AUDIT (all Debug builds),
@@ -37,6 +40,13 @@ struct SimulatorOptions {
   // the scheduler at delivery and wake-registration time.
   const FaultPlan* fault_plan = nullptr;
   AuditMode audit = AuditMode::kDefault;
+  // Sharded multi-worker backend: 0 = serial engine (default); K >= 1
+  // partitions the nodes over K worker threads (clamped to n), each with
+  // its own Scheduler, exchanging message batches at round barriers.
+  // Results, metrics, and outcomes are bit-identical to the serial
+  // engine for every K (DESIGN.md §12). `trace` is serial-only.
+  std::uint32_t shards = 0;
+  ShardPolicy shard_policy = ShardPolicy::kContiguousBlocks;
 };
 
 // A node program: the algorithm one node runs. Must eventually finish.
@@ -64,9 +74,22 @@ class Simulator {
 
   const Metrics& GetMetrics() const { return metrics_; }
   RunStats Stats() const { return metrics_.Summarize(); }
-  // Null unless this run has an auditor installed.
+  // Null unless this run has a serial-engine auditor installed (sharded
+  // runs audit per shard; use Audit() for the engine-independent view).
   const Auditor* GetAuditor() const { return auditor_.get(); }
   const FaultStats& InjectedFaults() const;
+
+  // Engine-independent auditor summary: the serial auditor's meters, or
+  // the shard auditors' summed meters (audited == false when no auditor
+  // ran). Valid after Run/RunToOutcome.
+  struct AuditSummary {
+    bool audited = false;
+    std::uint64_t awake_node_rounds = 0;
+    std::uint64_t model_drops = 0;
+    std::uint64_t violations = 0;
+    std::string report;  // "" when clean
+  };
+  AuditSummary Audit() const;
 
  private:
   // Shared body of Run/RunToOutcome: spawn, start, run until idle,
@@ -79,12 +102,19 @@ class Simulator {
   SimulatorOptions options_;
   Metrics metrics_;
   std::unique_ptr<Auditor> auditor_;  // before scheduler_: it borrows it
-  Scheduler scheduler_;
-  // Contexts must be address-stable across the run (coroutines hold
-  // references); a deque keeps elements pinned while growing without one
-  // heap allocation per node.
+  // Exactly one engine exists per Simulator: the serial scheduler, or
+  // the sharded multi-worker backend when options.shards >= 1.
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ShardedEngine> sharded_;
+  // Serial-engine state. Contexts must be address-stable across the run
+  // (coroutines hold references); a deque keeps elements pinned while
+  // growing without one heap allocation per node. In sharded mode the
+  // engine owns the per-shard equivalents.
   std::deque<NodeContext> contexts_;
   std::vector<TaskRunner> runners_;
+  // Filled by Run/RunToOutcome after a sharded run (the shard auditors'
+  // CheckAwakeMeter cross-check runs exactly once, there).
+  AuditSummary sharded_audit_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,26 @@
+// JSON-lines field formatting shared by the bench harness and the CLI.
+//
+// The records these helpers produce feed strict parsers downstream
+// (sweep-analysis scripts, jq), so the emitters must never produce
+// invalid JSON:
+//  * JsonNum maps non-finite doubles (NaN / ±inf — e.g. an average over
+//    zero completed runs in a 100%-crash robustness sweep) to `null`;
+//    bare `nan`/`inf` tokens are not JSON and corrupt the whole line.
+//  * JsonStr escapes quotes, backslashes, and every control character
+//    (`\n`, `\t`, ... as short escapes; other bytes < 0x20 as \u00XX),
+//    so hostile or merely creative experiment names cannot break a
+//    record.
+#pragma once
+
+#include <string>
+
+namespace smst {
+
+// Formats a double as a JSON number token: integral values print without
+// a fraction, others with %.6g; non-finite values print as `null`.
+std::string JsonNum(double v);
+
+// Formats a string as a JSON string token, quotes included.
+std::string JsonStr(const std::string& s);
+
+}  // namespace smst

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace smst {
 
@@ -41,7 +43,11 @@ double GeometricMean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   double log_sum = 0.0;
   for (double v : values) {
-    assert(v > 0.0);
+    if (!(v > 0.0)) {  // also catches NaN
+      throw std::domain_error(
+          "GeometricMean requires strictly positive values, got " +
+          std::to_string(v));
+    }
     log_sum += std::log(v);
   }
   return std::exp(log_sum / static_cast<double>(values.size()));

@@ -1,0 +1,302 @@
+// The harness's JSON-lines records feed strict downstream parsers (jq,
+// sweep-analysis scripts); these tests round-trip the emitters through a
+// strict in-test parser so invalid output (bare nan tokens, raw control
+// characters in strings) fails here instead of in a pipeline.
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "smst/util/json.h"
+
+namespace smst {
+namespace {
+
+// ------------------------------------------------ strict mini-parser ---
+//
+// Accepts exactly the JSON grammar (RFC 8259) for one value; no
+// extensions, no leniency. Decodes strings (short escapes + \uXXXX for
+// the BMP subset the emitter produces) so tests can compare round-tripped
+// contents, and records top-level object keys that map to `null`.
+
+class StrictParser {
+ public:
+  // By value: callers pass freshly concatenated temporaries.
+  explicit StrictParser(std::string text) : s_(std::move(text)) {}
+
+  bool ParseValue() {
+    SkipWs();
+    if (!ParseValueInner()) return false;
+    SkipWs();
+    return pos_ == s_.size();  // trailing garbage is a failure
+  }
+
+  const std::map<std::string, std::string>& TopStrings() const {
+    return top_strings_;
+  }
+  const std::map<std::string, double>& TopNumbers() const {
+    return top_numbers_;
+  }
+  const std::map<std::string, bool>& TopNulls() const { return top_nulls_; }
+
+ private:
+  bool ParseValueInner() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': { std::string out; return ParseString(&out); }
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: { double out; return ParseNumber(&out); }
+    }
+  }
+
+  bool ParseObject() {
+    const bool top = depth_ == 0;
+    ++depth_;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; --depth_; return true; }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+      SkipWs();
+      if (top && pos_ < s_.size() && s_[pos_] == '"') {
+        std::string v;
+        if (!ParseString(&v)) return false;
+        top_strings_[key] = v;
+      } else if (top && pos_ < s_.size() && s_[pos_] == 'n') {
+        if (!Literal("null")) return false;
+        top_nulls_[key] = true;
+      } else if (top && pos_ < s_.size() &&
+                 (s_[pos_] == '-' ||
+                  std::isdigit(static_cast<unsigned char>(s_[pos_])))) {
+        double v;
+        if (!ParseNumber(&v)) return false;
+        top_numbers_[key] = v;
+      } else if (!ParseValueInner()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++depth_;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; --depth_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!ParseValueInner()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            unsigned v = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              v = v * 16 +
+                  (std::isdigit(static_cast<unsigned char>(h))
+                       ? static_cast<unsigned>(h - '0')
+                       : static_cast<unsigned>(std::tolower(h) - 'a') + 10);
+            }
+            // The emitter only \u-escapes control bytes; decode those.
+            if (v > 0x7f) return false;
+            out->push_back(static_cast<char>(v));
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(double* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return false;
+    }
+    // No leading zeros before more digits (strict grammar).
+    if (s_[pos_] == '0' && pos_ + 1 < s_.size() &&
+        std::isdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+      return false;
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    *out = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool Literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::map<std::string, std::string> top_strings_;
+  std::map<std::string, double> top_numbers_;
+  std::map<std::string, bool> top_nulls_;
+};
+
+bool IsValidJson(const std::string& text) {
+  return StrictParser(text).ParseValue();
+}
+
+// --------------------------------------------------------- JsonNum -----
+
+TEST(JsonNumTest, IntegralValuesPrintWithoutFraction) {
+  EXPECT_EQ(JsonNum(0.0), "0");
+  EXPECT_EQ(JsonNum(42.0), "42");
+  EXPECT_EQ(JsonNum(-17.0), "-17");
+}
+
+TEST(JsonNumTest, NonFiniteBecomesNull) {
+  // `nan` / `inf` are not JSON tokens; a 100%-crash sweep's averages
+  // used to corrupt whole records this way.
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNum(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumTest, EveryOutputIsAValidJsonValue) {
+  for (double v : {0.0, 1.5, -2.25e-7, 1e300, 3.14159265358979,
+                   std::numeric_limits<double>::quiet_NaN(),
+                   std::numeric_limits<double>::infinity()}) {
+    EXPECT_TRUE(IsValidJson(JsonNum(v))) << JsonNum(v);
+  }
+}
+
+// --------------------------------------------------------- JsonStr -----
+
+TEST(JsonStrTest, EscapesQuotesBackslashesAndControls) {
+  const std::string hostile =
+      "name \"quoted\" back\\slash\nnewline\ttab\rcr\x01\x1f bytes";
+  const std::string token = JsonStr(hostile);
+  StrictParser p("{\"k\":" + token + "}");
+  ASSERT_TRUE(p.ParseValue()) << token;
+  ASSERT_EQ(p.TopStrings().count("k"), 1u);
+  EXPECT_EQ(p.TopStrings().at("k"), hostile);  // exact round-trip
+}
+
+TEST(JsonStrTest, PlainStringsPassThrough) {
+  EXPECT_EQ(JsonStr("ring-sweep"), "\"ring-sweep\"");
+}
+
+// -------------------------------------------- harness-shaped records ---
+
+TEST(JsonRecordTest, HarnessStyleLineSurvivesHostileInputs) {
+  // The exact shape Harness::JsonRecord emits: an experiment/record
+  // envelope plus caller fields — here with a hostile experiment name
+  // and non-finite aggregates, the two historical corruption sources.
+  const std::string name = "sweep\n\"v2\"\ttab\x02";
+  const double bad_avg = std::numeric_limits<double>::quiet_NaN();
+  const std::string line = "{\"experiment\":" + JsonStr(name) +
+                           ",\"record\":" + JsonStr("aggregate") +
+                           ",\"n\":1024,\"avg_awake\":" + JsonNum(bad_avg) +
+                           ",\"rounds\":" + JsonNum(69774.0) + "}";
+  StrictParser p(line);
+  ASSERT_TRUE(p.ParseValue()) << line;
+  EXPECT_EQ(p.TopStrings().at("experiment"), name);
+  EXPECT_EQ(p.TopStrings().at("record"), "aggregate");
+  EXPECT_EQ(p.TopNumbers().at("n"), 1024.0);
+  EXPECT_EQ(p.TopNumbers().at("rounds"), 69774.0);
+  EXPECT_TRUE(p.TopNulls().count("avg_awake"));  // null, not `nan`
+}
+
+TEST(JsonRecordTest, StrictParserRejectsTheOldCorruptForms) {
+  // Guard the guard: the parser these tests rely on must actually flag
+  // the malformed output the emitters used to produce.
+  EXPECT_FALSE(IsValidJson("{\"avg\":nan}"));
+  EXPECT_FALSE(IsValidJson("{\"avg\":inf}"));
+  EXPECT_FALSE(IsValidJson("{\"name\":\"a\nb\"}"));  // raw control char
+  EXPECT_FALSE(IsValidJson("{\"name\":\"unterminated}"));
+  EXPECT_FALSE(IsValidJson("{\"n\":01}"));
+  EXPECT_FALSE(IsValidJson("{\"n\":1} trailing"));
+}
+
+}  // namespace
+}  // namespace smst

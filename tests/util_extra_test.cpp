@@ -44,6 +44,14 @@ TEST(StatsTest, GeometricMean) {
   EXPECT_EQ(GeometricMean({}), 0.0);
 }
 
+TEST(StatsTest, GeometricMeanRejectsNonPositiveInEveryBuild) {
+  // Historically an assert (vanished in Release and silently produced
+  // NaN/-inf ratios in bench tables); now a thrown contract violation.
+  EXPECT_THROW(GeometricMean({1.0, 0.0, 4.0}), std::domain_error);
+  EXPECT_THROW(GeometricMean({-2.0}), std::domain_error);
+  EXPECT_THROW(GeometricMean({std::nan("")}), std::domain_error);
+}
+
 // -------------------------------------------------------------- args ---
 
 ArgParser Parse(std::initializer_list<const char*> tokens) {
@@ -77,6 +85,32 @@ TEST(ArgsTest, RejectsMalformedNumbers) {
   EXPECT_THROW(b.GetDouble("p", 0), std::invalid_argument);
   auto c = Parse({"--flag", "maybe"});
   EXPECT_THROW(c.GetBool("flag", false), std::invalid_argument);
+}
+
+TEST(ArgsTest, GetUintRejectsNegativeAndExoticForms) {
+  // strtoull would happily wrap "-1" to 2^64-1 and parse "0x10"/"+5";
+  // the parser now accepts plain decimal digits only.
+  for (const char* bad : {"-1", "+5", " 7", "7 ", "0x10", ""}) {
+    auto a = Parse({"--n", bad});
+    EXPECT_THROW(a.GetUint("n", 0), std::invalid_argument) << "'" << bad << "'";
+  }
+  auto overflow = Parse({"--n", "99999999999999999999"});  // > 2^64-1
+  EXPECT_THROW(overflow.GetUint("n", 0), std::invalid_argument);
+  auto max = Parse({"--n", "18446744073709551615"});  // == 2^64-1: fine
+  EXPECT_EQ(max.GetUint("n", 0), 18446744073709551615ull);
+  auto zero = Parse({"--n", "0"});
+  EXPECT_EQ(zero.GetUint("n", 1), 0u);
+}
+
+TEST(ArgsTest, GetDoubleRejectsNonFiniteAndGarbage) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999", "", " 1.5", "1.5 ",
+                          "0.5q", "--3"}) {
+    auto a = Parse({"--p", bad});
+    EXPECT_THROW(a.GetDouble("p", 0), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+  auto ok = Parse({"--p", "-2.5e-3"});
+  EXPECT_DOUBLE_EQ(ok.GetDouble("p", 0), -2.5e-3);
 }
 
 TEST(ArgsTest, UnusedFlagDetection) {

@@ -54,6 +54,9 @@ flags:
              (completed / wrong-result / non-termination /
              crashed-partition) instead of verified-or-die.
   --audit    force the runtime invariant auditor on (Debug has it on)
+  --shards   simulator worker shards (0 = serial engine); results are
+             bit-identical for every value                           [0]
+  --shard-policy  block | rr — node-to-shard partition policy        [block]
   --energy   off | mote | wifi | ble                                 [off]
   --quiet    only the summary line
 )";
@@ -141,6 +144,9 @@ int main(int argc, char** argv) {
     }
     const bool faulted = !fault_plan.Empty();
     if (args.GetBool("audit", false)) opt.audit = smst::AuditMode::kOn;
+    opt.shards = static_cast<std::uint32_t>(args.GetUint("shards", 0));
+    opt.shard_policy =
+        smst::ParseShardPolicy(args.GetString("shard-policy", "block"));
     const std::uint64_t num_seeds = args.GetUint("seeds", 1);
     const auto threads = static_cast<unsigned>(args.GetUint("threads", 0));
     if (auto unused = args.UnusedFlags(); !unused.empty()) {
