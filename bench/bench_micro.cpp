@@ -8,6 +8,7 @@
 #include "smst/graph/generators.h"
 #include "smst/graph/mst_reference.h"
 #include "smst/mst/randomized_mst.h"
+#include "smst/runtime/flat/program.h"
 #include "smst/runtime/simulator.h"
 #include "smst/sleeping/forest_builder.h"
 #include "smst/sleeping/procedures.h"
@@ -86,7 +87,90 @@ void BM_SimulatorDenseRounds(benchmark::State& state) {
       benchmark::Counter(node_rounds == 0 ? 0.0 : allocs / node_rounds);
   state.SetItemsProcessed(state.iterations() * state.range(0) * kRounds);
 }
-BENCHMARK(BM_SimulatorDenseRounds)->Arg(64)->Arg(512);
+// 2^18 leaves every per-node structure far outside cache: the regime
+// where the coroutine engine's pointer-chasing collapses and the flat
+// engine's fused sweeps keep streaming (the >=5x row; see BENCH_flat).
+BENCHMARK(BM_SimulatorDenseRounds)->Arg(64)->Arg(512)->Arg(1 << 18);
+
+// Flat-engine twin of BM_SimulatorDenseRounds: the identical every-node-
+// every-round chatter, lowered to a FlatProgram. The pair is the headline
+// engine comparison — same graph, same rounds, same messages, so the
+// items/s ratio is pure per-node-round overhead (coroutine frame resume +
+// scheduler heap traffic vs a virtual call into a batched state machine).
+class FlatPingProgram final : public FlatProgram {
+ public:
+  FlatPingProgram(const WeightedGraph& g, int rounds)
+      : g_(&g), rounds_(rounds) {}
+
+  Round Start(NodeIndex v, FlatEnv&, SendBatch& sends) override {
+    PushAll(v, sends);
+    return 1;
+  }
+
+  Round Step(NodeIndex v, Round now, FlatEnv&, const InboxBatch&,
+             SendBatch& sends) override {
+    if (now >= static_cast<Round>(rounds_)) return kFlatDone;
+    PushAll(v, sends);
+    return now + 1;
+  }
+
+ private:
+  void PushAll(NodeIndex v, SendBatch& sends) const {
+    const FlatNodeRef node{g_, v};
+    for (std::uint32_t p = 0; p < node.Degree(); ++p) {
+      sends.push_back({p, Message{1, node.Id(), 0, 0}});
+    }
+  }
+
+  const WeightedGraph* g_;
+  int rounds_;
+};
+
+void BM_SimulatorDenseRoundsFlat(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  auto g = MakeRing(static_cast<std::size_t>(state.range(0)), rng);
+  constexpr int kRounds = 64;
+  const std::uint64_t allocs_before = bench::AllocCount();
+  for (auto _ : state) {
+    SimulatorOptions opt;
+    opt.engine = EngineMode::kFlat;
+    Simulator sim(g, opt);
+    FlatPingProgram program(g, kRounds);
+    sim.Run(program);
+    benchmark::DoNotOptimize(sim.Stats());
+  }
+  const auto allocs =
+      static_cast<double>(bench::AllocCount() - allocs_before);
+  const auto node_rounds =
+      static_cast<double>(state.iterations() * state.range(0) * kRounds);
+  state.counters["allocs_per_node_round"] =
+      benchmark::Counter(node_rounds == 0 ? 0.0 : allocs / node_rounds);
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kRounds);
+}
+BENCHMARK(BM_SimulatorDenseRoundsFlat)->Arg(64)->Arg(512)->Arg(1 << 18);
+
+// ------------------------------------------------ toolbox procedures
+// One path fragment spanning the whole graph: the deepest LDT a fragment
+// of n nodes can have, so one procedure block is the full 2n+1 rounds.
+// Each bench reports node-rounds/s (n nodes x the simulated rounds per
+// run) so the three procedures are comparable to each other and to the
+// dense-round engine numbers above.
+
+struct PathForest {
+  WeightedGraph g;
+  std::vector<LdtState> states;
+};
+
+PathForest MakePathForest(std::size_t n) {
+  Xoshiro256 rng(1);
+  GeneratorOptions opt;
+  opt.shuffle_ids = false;
+  auto g = MakePath(n, rng, opt);
+  std::vector<EdgeIndex> tree;
+  for (EdgeIndex e = 0; e < g.NumEdges(); ++e) tree.push_back(e);
+  auto states = BuildForest(g, tree, {0});
+  return {std::move(g), std::move(states)};
+}
 
 Task<void> BroadcastNode(NodeContext& ctx, const std::vector<LdtState>* states) {
   co_await FragmentBroadcast(ctx, (*states)[ctx.Index()], 1,
@@ -94,22 +178,57 @@ Task<void> BroadcastNode(NodeContext& ctx, const std::vector<LdtState>* states) 
 }
 
 void BM_FragmentBroadcast(benchmark::State& state) {
+  auto pf = MakePathForest(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Simulator sim(pf.g);
+    sim.Run([&pf](NodeContext& ctx) {
+      return BroadcastNode(ctx, &pf.states);
+    });
+    rounds = sim.Stats().rounds;
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_FragmentBroadcast)->Arg(256)->Arg(2048);
+
+Task<void> UpcastNode(NodeContext& ctx, const std::vector<LdtState>* states) {
+  co_await UpcastMin(ctx, (*states)[ctx.Index()], 1,
+                     UpcastItem{ctx.Id(), 0, 0});
+}
+
+void BM_UpcastMin(benchmark::State& state) {
+  auto pf = MakePathForest(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Simulator sim(pf.g);
+    sim.Run([&pf](NodeContext& ctx) {
+      return UpcastNode(ctx, &pf.states);
+    });
+    rounds = sim.Stats().rounds;
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_UpcastMin)->Arg(256)->Arg(2048);
+
+// LDT-build is host-side (no simulated rounds): one "node-round" here is
+// one node rooted, levelled, and port-linked by the BFS.
+void BM_LdtBuild(benchmark::State& state) {
   Xoshiro256 rng(1);
   GeneratorOptions opt;
   opt.shuffle_ids = false;
   auto g = MakePath(static_cast<std::size_t>(state.range(0)), rng, opt);
   std::vector<EdgeIndex> tree;
   for (EdgeIndex e = 0; e < g.NumEdges(); ++e) tree.push_back(e);
-  auto states = BuildForest(g, tree, {0});
   for (auto _ : state) {
-    Simulator sim(g);
-    sim.Run([&states](NodeContext& ctx) {
-      return BroadcastNode(ctx, &states);
-    });
-    benchmark::DoNotOptimize(sim.Stats());
+    benchmark::DoNotOptimize(BuildForest(g, tree, {0}));
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_FragmentBroadcast)->Arg(256)->Arg(2048);
+BENCHMARK(BM_LdtBuild)->Arg(256)->Arg(2048);
 
 void BM_RandomizedMstEndToEnd(benchmark::State& state) {
   Xoshiro256 rng(1);

@@ -29,6 +29,7 @@ set(SMST_BENCHES
   bench_robustness.cpp
   bench_micro.cpp
   bench_sharded.cpp
+  bench_flat.cpp
 )
 
 foreach(src ${SMST_BENCHES})

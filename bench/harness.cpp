@@ -9,6 +9,7 @@
 
 #include "alloc_count.h"
 #include "smst/graph/mst_verify.h"
+#include "smst/runtime/simulator.h"
 #include "smst/util/args.h"
 
 namespace smst::bench {
@@ -24,6 +25,7 @@ Harness::Harness(std::string experiment, int argc, char** argv)
   seeds_override_ = args.GetUint("seeds", 0);
   shards_ = static_cast<std::uint32_t>(args.GetUint("shards", 0));
   shard_policy_ = ParseShardPolicy(args.GetString("shard-policy", "block"));
+  engine_ = ParseEngineMode(args.GetString("engine", "coroutine"));
   const std::string json_path = args.GetString("json", "");
   if (!json_path.empty()) {
     json_.open(json_path);
@@ -37,7 +39,8 @@ Harness::Harness(std::string experiment, int argc, char** argv)
   if (auto unused = args.UnusedFlags(); !unused.empty()) {
     std::cerr << "note: ignoring unknown flag --" << unused.front()
               << " (harness flags: --threads N, --seeds K, --json PATH, "
-                 "--shards K, --shard-policy block|rr)\n";
+                 "--shards K, --shard-policy block|rr, "
+                 "--engine coroutine|flat)\n";
   }
 }
 
@@ -57,6 +60,18 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
   SweepOutput out;
   out.cells.resize(sizes.size() * seeds);
 
+  // Algorithms without a flat lowering run their cells on the coroutine
+  // engine (results are bit-identical anyway; only wall-clock differs).
+  // Announce the downgrade so `--engine flat` over a multi-algorithm
+  // bench is honest instead of aborting the suite mid-sweep.
+  EngineMode engine = engine_;
+  if (engine == EngineMode::kFlat && !SupportsFlatEngine(algo, base)) {
+    std::cerr << "note: " << MstAlgorithmName(algo)
+              << " has no flat-engine lowering; sweeping it on the "
+                 "coroutine engine\n";
+    engine = EngineMode::kCoroutine;
+  }
+
   // Workers fill disjoint cells; graphs are built inside the cell so
   // generation parallelizes too. Everything a cell computes depends only
   // on (n, seed), so the result set is independent of thread count.
@@ -71,6 +86,7 @@ SweepOutput Harness::Sweep(MstAlgorithm algo,
     // pure function of (n, seed) either way.
     options.shards = shards_;
     options.shard_policy = shard_policy_;
+    options.engine = engine;
     // Each cell runs wholly on this worker thread, so the thread-local
     // counter difference is exactly this run's allocations. Graph
     // generation (above) and verification (below) are excluded: the

@@ -27,14 +27,42 @@ MstRunResult RunGhsStyle(const WeightedGraph& g, const MstOptions& options,
 
 // This node's best outgoing-edge candidate under `rule` (absent if every
 // neighbor is in the same fragment). The item's `b` field always carries
-// the edge weight, which identifies the edge globally.
-UpcastItem LocalMoe(const NodeContext& ctx, const LdtState& ldt,
-                    const std::vector<NodeId>& nbr_frag, SelectionRule rule);
+// the edge weight, which identifies the edge globally. Templated over the
+// node view so the coroutine (NodeContext) and flat (FlatNodeRef) engines
+// share one definition.
+template <typename Ctx>
+UpcastItem LocalMoe(const Ctx& ctx, const LdtState& ldt,
+                    const std::vector<NodeId>& nbr_frag, SelectionRule rule) {
+  UpcastItem best;  // absent
+  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+    if (nbr_frag[p] == ldt.fragment_id) continue;
+    const Weight w = ctx.WeightAtPort(p);
+    UpcastItem candidate;
+    switch (rule) {
+      case SelectionRule::kMinWeight:
+        candidate = UpcastItem{w, w, 0};
+        break;
+      case SelectionRule::kMinNeighborId:
+        candidate = UpcastItem{nbr_frag[p], w, 0};
+        break;
+    }
+    if (candidate < best) best = candidate;
+  }
+  return best;
+}
 
 // The port of this node's outgoing edge with the given weight, or kNoPort
 // if the fragment's chosen edge is not incident here.
-std::uint32_t PortOfOutgoingWeight(const NodeContext& ctx, const LdtState& ldt,
+template <typename Ctx>
+std::uint32_t PortOfOutgoingWeight(const Ctx& ctx, const LdtState& ldt,
                                    const std::vector<NodeId>& nbr_frag,
-                                   Weight weight);
+                                   Weight weight) {
+  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
+    if (nbr_frag[p] != ldt.fragment_id && ctx.WeightAtPort(p) == weight) {
+      return p;
+    }
+  }
+  return kNoPort;
+}
 
 }  // namespace smst::detail

@@ -7,8 +7,10 @@
 #include <string>
 
 #include "smst/mst/detail.h"
+#include "smst/mst/flat_driver.h"
 #include "smst/runtime/simulator.h"
 #include "smst/sleeping/coloring.h"
+#include "smst/sleeping/flat_procedures.h"
 #include "smst/sleeping/merging.h"
 #include "smst/sleeping/procedures.h"
 
@@ -325,6 +327,302 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
   sh->phases_done[ctx.Index()] = last_active_phase;
 }
 
+// ---------------------------------------------------------------------
+// Flat-engine lowering of NodeMain (DESIGN §13). Fast-awake coloring
+// only; RunDeterministicMst rejects the log* variant under the flat
+// engine. Identical tags, schedule arithmetic, probes, and error strings
+// — the differential tests pin bit-identical results.
+
+bool NbrAnnounced(const std::vector<NbrEntry>& nbr_info, Weight w) {
+  for (const NbrEntry& e : nbr_info) {
+    if (e.weight == w) return true;
+  }
+  return false;
+}
+
+UpcastItem NbrOffer(const std::vector<LocalEntry>& locals,
+                    const std::vector<NbrEntry>& nbr_info) {
+  UpcastItem offer;
+  for (const LocalEntry& e : locals) {
+    if (NbrAnnounced(nbr_info, e.weight)) continue;
+    UpcastItem candidate{e.weight, e.frag, e.outgoing ? 1u : 0u};
+    if (candidate < offer) offer = candidate;
+  }
+  return offer;
+}
+
+struct FlatDetNode {
+  int pc = 0;
+  LdtState ldt;
+  BlockCursor cursor{1, 1};
+  std::vector<NodeId> nbr_frag;
+  std::uint64_t phase = 0;
+  bool finished = false;
+  std::uint64_t last_active_phase = 0;
+  Message ctl{};
+  Weight moe_weight = 0;
+  SmallVec<std::uint32_t, 8> incoming_ports;
+  UpcastSumResult counts;
+  ScheduleRounds b6_sched;
+  std::uint64_t allot = 0;
+  SmallVec<std::uint32_t, 8> valid_incoming;
+  std::uint32_t moe_port = kNoPort;
+  UpcastItem verdict;
+  std::vector<LocalEntry> locals;
+  std::vector<NbrEntry> nbr_info;
+  std::vector<HPort> h_ports;
+  int k = 0;
+  bool is_blue = false;
+  MergeRole role;
+  FlatUpcastMin umin;
+  FlatBroadcast bcast;
+  FlatUpcastSum usum;
+  FlatMerge merge;
+  FlatColoring coloring;
+};
+
+class FlatDetProgram final : public FlatProgram {
+ public:
+  FlatDetProgram(const WeightedGraph& g, Shared* sh)
+      : g_(&g), sh_(sh), nodes_(g.NumNodes()) {
+    for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+      FlatDetNode& st = nodes_[v];
+      st.ldt = LdtState::Singleton(g.IdOf(v));
+      st.cursor = BlockCursor(1, g.NumNodes());
+      st.nbr_frag.assign(g.DegreeOf(v), 0);
+    }
+  }
+
+  Round Start(NodeIndex v, FlatEnv& env, SendBatch& sends) override {
+    const InboxBatch empty;
+    return Advance(v, env, empty, sends);
+  }
+
+  Round Step(NodeIndex v, Round /*now*/, FlatEnv& env, const InboxBatch& inbox,
+             SendBatch& sends) override {
+    return Advance(v, env, inbox, sends);
+  }
+
+ private:
+  Round Advance(NodeIndex v, FlatEnv& env, const InboxBatch& inbox,
+                SendBatch& sends);
+
+  const WeightedGraph* g_;
+  Shared* sh_;
+  std::vector<FlatDetNode> nodes_;
+};
+
+Round FlatDetProgram::Advance(NodeIndex v, FlatEnv& env,
+                              const InboxBatch& inbox, SendBatch& sends) {
+  FlatDetNode& st = nodes_[v];
+  const FlatNodeRef node{g_, v};
+  const std::size_t n = node.NumNodesKnown();
+  const NodeId N = node.MaxIdKnown();
+  std::vector<bool>& mark = sh_->port_marks[v];
+  Metrics& metrics = *env.metrics;
+  const std::uint64_t blocks_per_phase =
+      kDeterministicFixedBlocksPerPhase + kColoringBlocksPerStage * N;
+
+  switch (st.pc) {
+    default:
+      throw std::logic_error("flat program: corrupt pc");
+    case 0:
+      for (st.phase = 1; st.phase <= sh_->phase_cap; ++st.phase) {
+        if (st.finished) {
+          st.cursor.SkipBlocks(blocks_per_phase);
+          continue;
+        }
+        st.last_active_phase = st.phase;
+        if (st.ldt.IsRoot()) metrics.Probe(kProbeFragmentsAtPhase, st.phase);
+
+        // ---- step (i): find the fragment MOE -------------------------
+        // B1: learn adjacent fragment IDs.
+        for (std::uint32_t p = 0; p < node.Degree(); ++p) {
+          sends.push_back({p, Message{kTagFragId, st.ldt.fragment_id, 0, 0}});
+        }
+        SMST_FLAT_AWAKE(st, TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, n).side);
+        for (const InMessage& m : inbox) {
+          if (m.msg.type == kTagFragId) st.nbr_frag[m.port] = m.msg.a;
+        }
+
+        // B2 + B3: MOE to the root and (MOE weight, DONE) back down.
+        SMST_FLAT_SUB(st, umin, st.umin.Begin(node, st.ldt, st.cursor.TakeBlock(), detail::LocalMoe(node, st.ldt, st.nbr_frag, detail::SelectionRule::kMinWeight), sends));
+        st.ctl = Message{};
+        if (st.ldt.IsRoot()) {
+          st.ctl = Message{kTagPhaseCtl, st.umin.best.b,
+                           st.umin.best.Absent() ? std::uint64_t{1} : 0, 0};
+        }
+        SMST_FLAT_SUB(st, bcast, st.bcast.Begin(node, st.ldt, st.cursor.TakeBlock(), st.ctl, sends));
+        st.moe_weight = st.bcast.msg.a;
+        if (st.bcast.msg.b != 0) {  // DONE: this fragment spans the graph
+          st.finished = true;
+          sh_->Snapshot(st.phase, v, st.ldt);
+          if (sh_->termination == TerminationMode::kEarlyDetect) break;
+          st.cursor.SkipBlocks(blocks_per_phase - 3);
+          continue;
+        }
+
+        // ---- step (i) continued: sparsify incoming MOEs to at most 3 -
+        // B4: announce our MOE weight; detect INCOMING-MOEs.
+        st.incoming_ports.clear();
+        for (std::uint32_t p = 0; p < node.Degree(); ++p) {
+          sends.push_back({p, Message{kTagMoeAnnounce, st.moe_weight, 0, 0}});
+        }
+        SMST_FLAT_AWAKE(st, TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, n).side);
+        for (const InMessage& m : inbox) {
+          if (m.msg.type == kTagMoeAnnounce &&
+              st.nbr_frag[m.port] != st.ldt.fragment_id &&
+              m.msg.a == node.WeightAtPort(m.port)) {
+            st.incoming_ports.push_back(m.port);
+          }
+        }
+        std::sort(st.incoming_ports.begin(), st.incoming_ports.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    return node.WeightAtPort(a) < node.WeightAtPort(b);
+                  });
+
+        // B5: incoming-MOE counts converge (per-subtree breakdown kept).
+        SMST_FLAT_SUB(st, usum, st.usum.Begin(node, st.ldt, st.cursor.TakeBlock(), st.incoming_ports.size(), sends));
+        st.counts = st.usum.result;
+
+        // B6: the root allots at most 3 tokens; each node selects its
+        // own incoming edges (lightest first), splits the rest by
+        // subtree.
+        st.b6_sched = TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, n);
+        st.allot = 0;
+        if (st.ldt.IsRoot()) {
+          st.allot = std::min<std::uint64_t>(3, st.counts.subtree_total);
+        } else if (st.counts.subtree_total > 0) {
+          SMST_FLAT_AWAKE(st, st.b6_sched.down_receive);
+          if (auto m = MessageFromPort(inbox, st.ldt.parent_port);
+              m.has_value() && m->type == kTagAllot) {
+            st.allot = m->a;
+          }
+        }
+        st.valid_incoming.clear();
+        for (std::uint32_t p : st.incoming_ports) {
+          if (st.allot == 0) break;
+          st.valid_incoming.push_back(p);
+          --st.allot;
+        }
+        for (const auto& [child_port, child_total] : st.counts.child_totals) {
+          const std::uint64_t give = std::min(st.allot, child_total);
+          st.allot -= give;
+          if (give > 0) {
+            sends.push_back({child_port, Message{kTagAllot, give, 0, 0}});
+          }
+        }
+        if (!sends.empty()) {
+          SMST_FLAT_AWAKE(st, st.b6_sched.down_send);
+        }
+
+        // B7: verdicts cross each incoming-MOE edge to its source.
+        st.moe_port = detail::PortOfOutgoingWeight(node, st.ldt, st.nbr_frag,
+                                                   st.moe_weight);
+        for (std::uint32_t p : st.incoming_ports) {
+          const bool selected =
+              std::find(st.valid_incoming.begin(), st.valid_incoming.end(),
+                        p) != st.valid_incoming.end();
+          sends.push_back({p, Message{kTagVerdict, node.WeightAtPort(p),
+                                      selected ? std::uint64_t{1} : 0, 0}});
+        }
+        SMST_FLAT_AWAKE(st, TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, n).side);
+        st.verdict = UpcastItem{};
+        if (st.moe_port != kNoPort) {
+          bool out_valid = false;
+          if (auto m = MessageFromPort(inbox, st.moe_port);
+              m.has_value() && m->type == kTagVerdict &&
+              m->a == st.moe_weight) {
+            out_valid = m->b != 0;
+          }
+          st.verdict =
+              UpcastItem{out_valid ? 0u : 1u, st.nbr_frag[st.moe_port], 0};
+        }
+
+        // B8 + B9: outgoing validity to the root and fragment-wide.
+        SMST_FLAT_SUB(st, umin, st.umin.Begin(node, st.ldt, st.cursor.TakeBlock(), st.verdict, sends));
+        SMST_FLAT_SUB(st, bcast, st.bcast.Begin(node, st.ldt, st.cursor.TakeBlock(), Message{kTagValidity, st.umin.best.key, st.umin.best.b, 0}, sends));
+
+        // ---- NBR-INFO gather: <=4 tuples fragment-wide (8 blocks) ----
+        st.locals.clear();
+        for (std::uint32_t p : st.valid_incoming) {
+          st.locals.push_back({node.WeightAtPort(p), st.nbr_frag[p], false, p});
+        }
+        if (st.moe_port != kNoPort && st.bcast.msg.a == 0) {
+          st.locals.push_back(
+              {st.moe_weight, st.nbr_frag[st.moe_port], true, st.moe_port});
+        }
+        st.nbr_info.clear();
+        for (st.k = 0; st.k < 4; ++st.k) {
+          SMST_FLAT_SUB(st, umin, st.umin.Begin(node, st.ldt, st.cursor.TakeBlock(), NbrOffer(st.locals, st.nbr_info), sends));
+          SMST_FLAT_SUB(st, bcast, st.bcast.Begin(node, st.ldt, st.cursor.TakeBlock(), Message{kTagNbrInfo, st.umin.best.key, st.umin.best.b, st.umin.best.c}, sends));
+          if (st.bcast.msg.a != kPlusInfinity &&
+              !NbrAnnounced(st.nbr_info, st.bcast.msg.a)) {
+            st.nbr_info.push_back(
+                {st.bcast.msg.b, st.bcast.msg.a, st.bcast.msg.c != 0});
+          }
+        }
+
+        // Our own boundary ports in H (deduplicated).
+        st.h_ports.clear();
+        for (const LocalEntry& e : st.locals) {
+          bool dup = false;
+          for (const HPort& hp : st.h_ports) dup |= hp.port == e.port;
+          if (!dup) st.h_ports.push_back({e.port, e.frag});
+        }
+
+        // ---- step (ii): color H, then merge --------------------------
+        SMST_FLAT_SUB(st, coloring, st.coloring.Begin(node, st.ldt, st.cursor, st.nbr_info, st.h_ports, sends));
+        st.is_blue = st.coloring.result.my_color == FragColor::kBlue;
+        if (st.ldt.IsRoot() && st.is_blue) {
+          metrics.Probe(kProbeBlueAtPhase, st.phase);
+        }
+
+        // Merge wave 1: Blue fragments with H-neighbors pick the
+        // lowest-ID neighbor.
+        st.role = MergeRole{};
+        if (st.is_blue && !st.nbr_info.empty()) {
+          st.role.is_tails = true;
+          NbrEntry chosen = st.nbr_info.front();
+          for (const NbrEntry& e : st.nbr_info) {
+            if (e.frag_id < chosen.frag_id ||
+                (e.frag_id == chosen.frag_id && e.weight < chosen.weight)) {
+              chosen = e;
+            }
+          }
+          for (const LocalEntry& e : st.locals) {
+            if (e.weight == chosen.weight) st.role.attach_port = e.port;
+          }
+          if (st.role.is_tails && st.ldt.IsRoot()) {
+            metrics.Probe(kProbeMergesAtPhase, st.phase);
+          }
+        }
+        SMST_FLAT_SUB(st, merge, st.merge.Begin(node, st.ldt, st.cursor, st.role, mark, sends));
+
+        // Merge wave 2: Blue singletons follow their own MOE.
+        st.role = MergeRole{};
+        if (st.is_blue && st.nbr_info.empty()) {
+          st.role.is_tails = true;
+          if (st.moe_port != kNoPort) st.role.attach_port = st.moe_port;
+          if (st.ldt.IsRoot()) metrics.Probe(kProbeMergesAtPhase, st.phase);
+        }
+        SMST_FLAT_SUB(st, merge, st.merge.Begin(node, st.ldt, st.cursor, st.role, mark, sends));
+        sh_->Snapshot(st.phase, v, st.ldt);
+      }
+
+      if (!st.finished && sh_->termination == TerminationMode::kEarlyDetect) {
+        throw NonTerminationError("Deterministic-MST: phase cap " +
+                                  std::to_string(sh_->phase_cap) +
+                                  " exceeded without termination");
+      }
+      metrics.ExtendRun(st.cursor.NextRound() - 1);
+      sh_->final_ldt[v] = st.ldt;
+      sh_->phases_done[v] = st.last_active_phase;
+      return kFlatDone;
+  }
+  throw std::logic_error("flat program: unreachable");
+}
+
 }  // namespace
 
 std::uint64_t DeterministicPaperPhaseCount(std::size_t n) {
@@ -335,6 +633,12 @@ std::uint64_t DeterministicPaperPhaseCount(std::size_t n) {
 
 MstRunResult RunDeterministicMst(const WeightedGraph& g,
                                  const MstOptions& options) {
+  if (options.engine == EngineMode::kFlat &&
+      options.coloring == ColoringVariant::kLogStar) {
+    throw std::invalid_argument(
+        "the flat engine supports only the fast-awake coloring "
+        "(use --engine coroutine for logstar)");
+  }
   Shared sh;
   sh.g = &g;
   sh.termination = options.termination;
@@ -361,11 +665,18 @@ MstRunResult RunDeterministicMst(const WeightedGraph& g,
   sim_options.audit = options.audit;
   sim_options.shards = options.shards;
   sim_options.shard_policy = options.shard_policy;
+  sim_options.engine = options.engine;
   const bool faulted =
       options.fault_plan != nullptr && !options.fault_plan->Empty();
   Simulator sim(g, sim_options);
-  RunOutcome outcome = DriveProgram(
-      sim, [&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); }, faulted);
+  RunOutcome outcome;
+  if (options.engine == EngineMode::kFlat) {
+    FlatDetProgram program(g, &sh);
+    outcome = DriveProgram(sim, program, faulted);
+  } else {
+    outcome = DriveProgram(
+        sim, [&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); }, faulted);
+  }
 
   std::uint64_t phases = 0;
   for (auto p : sh.phases_done) phases = std::max(phases, p);

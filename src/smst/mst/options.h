@@ -70,6 +70,11 @@ struct MstOptions {
   // programs on K worker threads with bit-identical results (DESIGN §12).
   std::uint32_t shards = 0;
   ShardPolicy shard_policy = ShardPolicy::kContiguousBlocks;
+  // Execution engine: the coroutine runtime (one frame per node) or the
+  // flat batched state machines (DESIGN §13). Bit-identical results; the
+  // flat engine only trades wall-clock time. The deterministic algorithm
+  // supports flat only with the kFastAwake coloring.
+  EngineMode engine = EngineMode::kCoroutine;
 };
 
 // Probe kinds recorded out-of-band for the benches.

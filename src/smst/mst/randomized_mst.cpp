@@ -6,9 +6,12 @@
 #include <string>
 
 #include "smst/mst/detail.h"
+#include "smst/mst/flat_driver.h"
 #include "smst/runtime/simulator.h"
+#include "smst/sleeping/flat_procedures.h"
 #include "smst/sleeping/merging.h"
 #include "smst/sleeping/procedures.h"
+#include "smst/util/prng.h"
 
 namespace smst {
 
@@ -49,6 +52,180 @@ struct Shared {
 
 Task<void> NodeMain(NodeContext& ctx, Shared* sh);
 
+// ---------------------------------------------------------------------
+// Flat-engine lowering of NodeMain (DESIGN §13): the same script with
+// every co_await turned into a (return round, case label) pair via the
+// flat_driver.h macros. Identical message tags, schedule arithmetic,
+// PRNG splits, probes, and error strings — the differential tests pin
+// bit-identical results against the coroutine form.
+
+struct FlatGhsNode {
+  int pc = 0;
+  Xoshiro256 rng{0};
+  LdtState ldt;
+  BlockCursor cursor{1, 1};
+  std::vector<NodeId> nbr_frag;
+  std::vector<bool> nbr_tails;
+  std::uint64_t phase = 0;
+  std::size_t span = 0;
+  bool finished = false;
+  std::uint64_t last_active_phase = 0;
+  std::uint64_t depth_bound = 0;
+  Message ctl{};
+  Weight moe_weight = 0;
+  bool tails = false;
+  std::uint32_t moe_port = kNoPort;
+  UpcastItem verdict;
+  MergeRole role;
+  FlatUpcastMin umin;
+  FlatBroadcast bcast;
+  FlatMerge merge;
+};
+
+class FlatGhsProgram final : public FlatProgram {
+ public:
+  FlatGhsProgram(const WeightedGraph& g, Shared* sh, std::uint64_t seed)
+      : g_(&g), sh_(sh), nodes_(g.NumNodes()) {
+    // The same per-node PRNG split Simulator hands coroutine contexts,
+    // so the roots' coin sequences match the coroutine run exactly.
+    Xoshiro256 root(seed);
+    for (NodeIndex v = 0; v < g.NumNodes(); ++v) {
+      FlatGhsNode& st = nodes_[v];
+      st.rng = root.Split(v);
+      st.ldt = LdtState::Singleton(g.IdOf(v));
+      st.cursor = BlockCursor(1, g.NumNodes());
+      st.nbr_frag.assign(g.DegreeOf(v), 0);
+      st.nbr_tails.assign(g.DegreeOf(v), false);
+    }
+  }
+
+  Round Start(NodeIndex v, FlatEnv& env, SendBatch& sends) override {
+    const InboxBatch empty;
+    return Advance(v, env, empty, sends);
+  }
+
+  Round Step(NodeIndex v, Round /*now*/, FlatEnv& env, const InboxBatch& inbox,
+             SendBatch& sends) override {
+    return Advance(v, env, inbox, sends);
+  }
+
+ private:
+  Round Advance(NodeIndex v, FlatEnv& env, const InboxBatch& inbox,
+                SendBatch& sends);
+
+  const WeightedGraph* g_;
+  Shared* sh_;
+  std::vector<FlatGhsNode> nodes_;
+};
+
+Round FlatGhsProgram::Advance(NodeIndex v, FlatEnv& env,
+                              const InboxBatch& inbox, SendBatch& sends) {
+  FlatGhsNode& st = nodes_[v];
+  const FlatNodeRef node{g_, v};
+  const std::size_t n = node.NumNodesKnown();
+  std::vector<bool>& mark = sh_->port_marks[v];
+  Metrics& metrics = *env.metrics;
+
+  switch (st.pc) {
+    default:
+      throw std::logic_error("flat program: corrupt pc");
+    case 0:
+      for (st.phase = 1; st.phase <= sh_->phase_cap; ++st.phase) {
+        st.span = sh_->adaptive_blocks
+                      ? static_cast<std::size_t>(
+                            std::min<std::uint64_t>(st.depth_bound + 1, n))
+                      : n;
+        st.cursor.SetSpan(st.span);
+        st.depth_bound =
+            std::min<std::uint64_t>(3 * st.depth_bound + 1, n - 1);
+        if (st.finished) {  // paper mode: remaining phases are no-ops
+          st.cursor.SkipBlocks(kRandomizedBlocksPerPhase);
+          continue;
+        }
+        st.last_active_phase = st.phase;
+        if (st.ldt.IsRoot()) metrics.Probe(kProbeFragmentsAtPhase, st.phase);
+
+        // B1: learn adjacent fragment IDs.
+        for (std::uint32_t p = 0; p < node.Degree(); ++p) {
+          sends.push_back({p, Message{kTagFragId, st.ldt.fragment_id, 0, 0}});
+        }
+        SMST_FLAT_AWAKE(st, TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, st.span).side);
+        for (const InMessage& m : inbox) {
+          if (m.msg.type == kTagFragId) st.nbr_frag[m.port] = m.msg.a;
+        }
+
+        // B2: fragment MOE converges at the root.
+        SMST_FLAT_SUB(st, umin, st.umin.Begin(node, st.ldt, st.cursor.TakeBlock(), detail::LocalMoe(node, st.ldt, st.nbr_frag, sh_->rule), sends, st.span));
+
+        // B3: root announces (MOE edge weight, DONE, coin).
+        st.ctl = Message{};
+        if (st.ldt.IsRoot()) {
+          const bool done = st.umin.best.Absent();
+          const bool tails = st.rng.NextCoin();
+          st.ctl = Message{kTagPhaseCtl, st.umin.best.b,
+                           done ? std::uint64_t{1} : 0,
+                           tails ? std::uint64_t{1} : 0};
+        }
+        SMST_FLAT_SUB(st, bcast, st.bcast.Begin(node, st.ldt, st.cursor.TakeBlock(), st.ctl, sends, st.span));
+        st.moe_weight = st.bcast.msg.a;
+        st.tails = st.bcast.msg.c != 0;
+        if (st.bcast.msg.b != 0) {  // done
+          st.finished = true;
+          sh_->Snapshot(st.phase, v, st.ldt);
+          if (sh_->termination == TerminationMode::kEarlyDetect) break;
+          st.cursor.SkipBlocks(kRandomizedBlocksPerPhase - 3);
+          continue;
+        }
+
+        // B4: exchange (MOE weight, coin) with adjacent fragments.
+        st.nbr_tails.assign(node.Degree(), false);
+        for (std::uint32_t p = 0; p < node.Degree(); ++p) {
+          sends.push_back({p, Message{kTagMoeCoin, st.moe_weight, st.tails ? 1u : 0u, 0}});
+        }
+        SMST_FLAT_AWAKE(st, TransmissionSchedule(st.cursor.TakeBlock(), st.ldt.level, st.span).side);
+        for (const InMessage& m : inbox) {
+          if (m.msg.type == kTagMoeCoin) st.nbr_tails[m.port] = m.msg.b != 0;
+        }
+
+        // Validity: decided by the (unique) MOE endpoint.
+        st.moe_port =
+            detail::PortOfOutgoingWeight(node, st.ldt, st.nbr_frag, st.moe_weight);
+        st.verdict = UpcastItem{};
+        if (st.moe_port != kNoPort) {
+          const bool valid = st.tails && !st.nbr_tails[st.moe_port];
+          st.verdict = UpcastItem{valid ? 0u : 1u, 0, 0};
+        }
+
+        // B5 + B6: verdict to root, then fragment-wide.
+        SMST_FLAT_SUB(st, umin, st.umin.Begin(node, st.ldt, st.cursor.TakeBlock(), st.verdict, sends, st.span));
+        SMST_FLAT_SUB(st, bcast, st.bcast.Begin(node, st.ldt, st.cursor.TakeBlock(), Message{kTagValidity, st.umin.best.key, 0, 0}, sends, st.span));
+
+        // B7-B9: merge tails fragments into their heads fragments.
+        st.role = MergeRole{};
+        st.role.is_tails = st.tails && st.bcast.msg.a == 0;
+        if (st.role.is_tails && st.moe_port != kNoPort) {
+          st.role.attach_port = st.moe_port;
+        }
+        if (st.role.is_tails && st.ldt.IsRoot()) {
+          metrics.Probe(kProbeMergesAtPhase, st.phase);
+        }
+        SMST_FLAT_SUB(st, merge, st.merge.Begin(node, st.ldt, st.cursor, st.role, mark, sends));
+        sh_->Snapshot(st.phase, v, st.ldt);
+      }
+
+      if (!st.finished && sh_->termination == TerminationMode::kEarlyDetect) {
+        throw NonTerminationError("Randomized-MST: phase cap " +
+                                  std::to_string(sh_->phase_cap) +
+                                  " exceeded without termination");
+      }
+      metrics.ExtendRun(st.cursor.NextRound() - 1);
+      sh_->final_ldt[v] = st.ldt;
+      sh_->phases_done[v] = st.last_active_phase;
+      return kFlatDone;
+  }
+  throw std::logic_error("flat program: unreachable");
+}
+
 MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
                        detail::SelectionRule rule) {
   Shared sh;
@@ -78,11 +255,18 @@ MstRunResult RunEngine(const WeightedGraph& g, const MstOptions& options,
   sim_options.audit = options.audit;
   sim_options.shards = options.shards;
   sim_options.shard_policy = options.shard_policy;
+  sim_options.engine = options.engine;
   const bool faulted =
       options.fault_plan != nullptr && !options.fault_plan->Empty();
   Simulator sim(g, sim_options);
-  RunOutcome outcome = DriveProgram(
-      sim, [&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); }, faulted);
+  RunOutcome outcome;
+  if (options.engine == EngineMode::kFlat) {
+    FlatGhsProgram program(g, &sh, options.seed);
+    outcome = DriveProgram(sim, program, faulted);
+  } else {
+    outcome = DriveProgram(
+        sim, [&sh](NodeContext& ctx) { return NodeMain(ctx, &sh); }, faulted);
+  }
 
   std::uint64_t phases = 0;
   for (auto p : sh.phases_done) phases = std::max(phases, p);
@@ -233,37 +417,6 @@ namespace detail {
 MstRunResult RunGhsStyle(const WeightedGraph& g, const MstOptions& options,
                          SelectionRule rule) {
   return RunEngine(g, options, rule);
-}
-
-UpcastItem LocalMoe(const NodeContext& ctx, const LdtState& ldt,
-                    const std::vector<NodeId>& nbr_frag, SelectionRule rule) {
-  UpcastItem best;  // absent
-  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
-    if (nbr_frag[p] == ldt.fragment_id) continue;
-    const Weight w = ctx.WeightAtPort(p);
-    UpcastItem candidate;
-    switch (rule) {
-      case SelectionRule::kMinWeight:
-        candidate = UpcastItem{w, w, 0};
-        break;
-      case SelectionRule::kMinNeighborId:
-        candidate = UpcastItem{nbr_frag[p], w, 0};
-        break;
-    }
-    if (candidate < best) best = candidate;
-  }
-  return best;
-}
-
-std::uint32_t PortOfOutgoingWeight(const NodeContext& ctx, const LdtState& ldt,
-                                   const std::vector<NodeId>& nbr_frag,
-                                   Weight weight) {
-  for (std::uint32_t p = 0; p < ctx.Degree(); ++p) {
-    if (nbr_frag[p] != ldt.fragment_id && ctx.WeightAtPort(p) == weight) {
-      return p;
-    }
-  }
-  return kNoPort;
 }
 
 }  // namespace detail

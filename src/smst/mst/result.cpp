@@ -73,6 +73,21 @@ RunOutcome DriveProgram(Simulator& sim, const NodeProgram& program,
   return sim.RunToOutcome(program);
 }
 
+RunOutcome DriveProgram(Simulator& sim, FlatProgram& program, bool faulted) {
+  if (!faulted) {
+    sim.Run(program);
+    RunOutcome out;
+    const Simulator::AuditSummary a = sim.Audit();
+    if (a.audited) {
+      out.audited_awake_node_rounds = a.awake_node_rounds;
+      out.audited_model_drops = a.model_drops;
+      out.audit_violations = a.violations;
+    }
+    return out;
+  }
+  return sim.RunToOutcome(program);
+}
+
 void RefineOutcome(MstRunResult& result, std::size_t num_nodes) {
   if (!result.outcome.Ok()) return;
   if (!result.consistency_error.empty()) {

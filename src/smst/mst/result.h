@@ -64,6 +64,8 @@ MstRunResult AssembleResult(const WeightedGraph& g,
 // classifying RunToOutcome when true.
 RunOutcome DriveProgram(Simulator& sim, const NodeProgram& program,
                         bool faulted);
+// Flat-engine twin of the above (SimulatorOptions::engine == kFlat).
+RunOutcome DriveProgram(Simulator& sim, FlatProgram& program, bool faulted);
 
 // Refines a faulted run's kCompleted outcome against the assembled
 // result: an endpoint inconsistency or a non-spanning edge set becomes

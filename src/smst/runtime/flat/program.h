@@ -1,0 +1,85 @@
+// Flat (coroutine-less) node programs.
+//
+// A FlatProgram is the batched state-machine form of a NodeProgram: one
+// object holds struct-of-arrays state for *all* nodes and advances any
+// node by one awake round per call. Instead of `co_await Awake(r, sends)`
+// suspending a per-node coroutine frame, a flat node *returns* its next
+// awake round (with the round's sends pushed into the out-parameter) and
+// is called again with that round's inbox. The mapping is exact:
+//
+//   coroutine                      flat
+//   ---------                      ----
+//   program(ctx) + Start()         Start(v, env, sends) -> first round
+//   resume with inbox              Step(v, now, env, inbox, sends)
+//   co_await Awake(r, sends)       return r (sends already pushed)
+//   co_return                      return kFlatDone
+//
+// Engines call Start once per node (before round 1) and then Step each
+// time the node's requested round comes due, in the same canonical
+// ascending-node order as coroutine resumes — which is why a flat run is
+// bit-identical to the coroutine run of the same algorithm (DESIGN.md
+// §13). Exceptions thrown by Start/Step mark the node failed exactly
+// like a coroutine exception reaching the promise.
+#pragma once
+
+#include <cstdint>
+
+#include "smst/graph/graph.h"
+#include "smst/runtime/message.h"
+#include "smst/runtime/metrics.h"
+
+namespace smst {
+
+using Round = std::uint64_t;
+
+// Sentinel return: the node's program finished (co_return equivalent).
+// Real awake rounds are >= 1, so 0 is unambiguous.
+inline constexpr Round kFlatDone = 0;
+
+// What a flat program may touch besides its own state: the run's metrics
+// sink (for Probe / ExtendRun — the out-of-band telemetry NodeContext
+// exposes). Per-node randomness is the program's own concern: drivers
+// split a root PRNG per node exactly like Simulator does for contexts.
+struct FlatEnv {
+  Metrics* metrics = nullptr;
+};
+
+// A node program lowered to a batched state machine over all nodes.
+// One instance serves every node of a run (sharded engines share it
+// across worker threads; implementations keep per-node state in
+// disjoint per-node slots and touch nothing else from Step).
+class FlatProgram {
+ public:
+  virtual ~FlatProgram() = default;
+
+  // Runs node v up to its first suspension. Returns the node's first
+  // awake round with that round's sends pushed into `sends`, or
+  // kFlatDone if the node finishes without ever waking.
+  virtual Round Start(NodeIndex v, FlatEnv& env, SendBatch& sends) = 0;
+
+  // Advances node v through its awake round `now`: `inbox` holds the
+  // round's delivered messages; the implementation pushes the *next*
+  // requested round's sends into `sends` and returns that round, or
+  // kFlatDone when the node terminates.
+  virtual Round Step(NodeIndex v, Round now, FlatEnv& env,
+                     const InboxBatch& inbox, SendBatch& sends) = 0;
+};
+
+// The node-local graph view a flat program sees: the same ID / degree /
+// port-weight queries NodeContext offers, without the scheduler handle.
+struct FlatNodeRef {
+  const WeightedGraph* g = nullptr;
+  NodeIndex v = kInvalidNode;
+
+  NodeId Id() const { return g->IdOf(v); }
+  std::uint64_t NumNodesKnown() const { return g->NumNodes(); }
+  NodeId MaxIdKnown() const { return g->MaxId(); }
+  std::uint32_t Degree() const {
+    return static_cast<std::uint32_t>(g->DegreeOf(v));
+  }
+  Weight WeightAtPort(std::uint32_t port) const {
+    return g->PortsOf(v)[port].weight;
+  }
+};
+
+}  // namespace smst

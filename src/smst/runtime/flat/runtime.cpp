@@ -1,0 +1,95 @@
+#include "smst/runtime/flat/runtime.h"
+
+#include <utility>
+
+namespace smst {
+
+FlatRuntime::FlatRuntime(Scheduler& scheduler, FlatProgram& program,
+                         Metrics& metrics, std::vector<NodeIndex> nodes)
+    : scheduler_(scheduler),
+      program_(program),
+      nodes_(std::move(nodes)),
+      wakes_(nodes_.size()),
+      status_(nodes_.size(), Status::kRunning),
+      errors_(nodes_.size()) {
+  env_.metrics = &metrics;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    wakes_[i].node = nodes_[i];
+    wakes_[i].handle_address = nullptr;  // marks the wake as flat
+  }
+  scheduler_.SetFlatStepper(this);
+}
+
+void FlatRuntime::StartAll() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    PendingWake& w = wakes_[i];
+    try {
+      const Round first = program_.Start(w.node, env_, w.sends);
+      if (first == kFlatDone) {
+        status_[i] = Status::kDone;
+        w.sends.clear();
+        continue;
+      }
+      w.round = first;
+      // Register validates the send batch and may jitter or swallow the
+      // wake under a fault plan; a throw here is the node's failure
+      // exactly as a coroutine's Awake-suspend throw lands in its
+      // promise (the catch below is that promise).
+      scheduler_.Register(&w);
+    } catch (...) {
+      status_[i] = Status::kFailed;
+      errors_[i] = std::current_exception();
+      w.sends.clear();
+    }
+  }
+}
+
+void FlatRuntime::Step(PendingWake& w) {
+  const std::size_t i = static_cast<std::size_t>(&w - wakes_.data());
+  // Hand the program this round's inbox and a cleared send batch; the
+  // wake's own containers keep their heap capacity across rounds.
+  InboxBatch inbox = std::move(w.inbox);
+  w.inbox.clear();
+  w.sends.clear();
+  try {
+    const Round next = program_.Step(w.node, w.round, env_, inbox, w.sends);
+    if (next == kFlatDone) {
+      status_[i] = Status::kDone;
+      w.sends.clear();
+      return;
+    }
+    w.round = next;
+    scheduler_.Register(&w);
+  } catch (...) {
+    status_[i] = Status::kFailed;
+    errors_[i] = std::current_exception();
+    w.sends.clear();
+  }
+}
+
+void FlatRuntime::RethrowIfFailedAt(std::size_t local) const {
+  if (errors_[local]) std::rethrow_exception(errors_[local]);
+}
+
+std::uint64_t FlatRuntime::CountUnfinished() const {
+  std::uint64_t unfinished = 0;
+  for (const Status s : status_) {
+    if (s == Status::kRunning) ++unfinished;
+  }
+  return unfinished;
+}
+
+NodeIndex FlatRuntime::FirstUnfinishedNode() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (status_[i] == Status::kRunning) return nodes_[i];
+  }
+  return kInvalidNode;
+}
+
+void FlatRuntime::RethrowFirstFailure() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (errors_[i]) std::rethrow_exception(errors_[i]);
+  }
+}
+
+}  // namespace smst

@@ -326,6 +326,14 @@ void Scheduler::DeliverAndResume() {
                         tc.dropped, tc.injected_drops, tc.injected_delays,
                         tc.injected_dups});
     }
+    if (w->handle_address == nullptr) {
+      // Flat node: no coroutine frame to resume; the installed stepper
+      // advances its state machine in place (re-registering `w` itself
+      // for the next wake, so the pointer stays valid — it lives in the
+      // flat runtime's stable per-node slot, not a coroutine frame).
+      flat_stepper_->Step(*w);
+      continue;
+    }
     auto handle = std::coroutine_handle<>::from_address(w->handle_address);
     // After resume(), `w` may be a dangling pointer (the coroutine frame
     // advanced past the awaitable); do not touch it again.

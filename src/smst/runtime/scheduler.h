@@ -33,6 +33,7 @@ namespace smst {
 
 class Auditor;
 class ShardedEngine;
+class FlatEngine;
 
 using Round = std::uint64_t;
 
@@ -47,6 +48,17 @@ struct PendingWake {
   SendBatch sends;
   InboxBatch inbox;
   void* handle_address = nullptr;  // std::coroutine_handle<> address
+};
+
+// Advances one flat (coroutine-less) node when its wake comes due: the
+// scheduler resumes a PendingWake whose handle_address is null by calling
+// the installed stepper instead of a coroutine handle (runtime/flat/).
+// The stepper owns the node's state machine; the wake's inbox/sends are
+// its mailbox exactly as for a suspended coroutine.
+class FlatStepper {
+ public:
+  virtual ~FlatStepper() = default;
+  virtual void Step(PendingWake& wake) = 0;
 };
 
 struct SchedulerOptions {
@@ -92,6 +104,11 @@ class Scheduler {
 
   void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
 
+  // Installs the handler for flat wakes (PendingWakes with a null
+  // handle_address). Must outlive the run; null means every wake is a
+  // coroutine wake.
+  void SetFlatStepper(FlatStepper* stepper) { flat_stepper_ = stepper; }
+
   // What the adversary did so far (all zero for a null plan).
   const FaultStats& InjectedFaults() const { return faults_.Stats(); }
 
@@ -99,8 +116,11 @@ class Scheduler {
   // The sharded engine (runtime/sharded/engine.cpp) drives the same
   // staging / delivery / resume machinery phase by phase across worker
   // threads; it is the one sanctioned out-of-module user of these
-  // internals (DESIGN.md §12).
+  // internals (DESIGN.md §12). The flat fast engine (runtime/flat/
+  // engine.cpp) borrows the precomputed CSR reverse-port tables so both
+  // engines resolve receiver ports from one shared layout (DESIGN.md §13).
   friend class ShardedEngine;
+  friend class FlatEngine;
 
   // Pending wakes live in a binary min-heap of (round, seq, bucket)
   // entries over a pool of reusable bucket vectors. Consecutive
@@ -206,6 +226,7 @@ class Scheduler {
   // of degree > 64 (sized to the max degree once; cleared per use).
   std::vector<std::uint64_t> seen_ports_scratch_;
   TraceSink trace_;
+  FlatStepper* flat_stepper_ = nullptr;
 };
 
 }  // namespace smst

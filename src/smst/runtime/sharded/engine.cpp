@@ -75,6 +75,14 @@ ShardedEngine::~ShardedEngine() {
 }
 
 void ShardedEngine::Execute(const NodeProgram& program) {
+  ExecuteImpl(&program, nullptr);
+}
+
+void ShardedEngine::ExecuteFlat(FlatProgram& program) {
+  ExecuteImpl(nullptr, &program);
+}
+
+void ShardedEngine::ExecuteImpl(const NodeProgram* coro, FlatProgram* flat) {
   if (ran_) throw std::logic_error("ShardedEngine may run only once");
   ran_ = true;
 
@@ -84,7 +92,7 @@ void ShardedEngine::Execute(const NodeProgram& program) {
   std::vector<std::thread> workers;
   workers.reserve(k);
   for (std::uint32_t s = 0; s < k; ++s) {
-    workers.emplace_back([this, s, &program] { ShardMain(s, program); });
+    workers.emplace_back([this, s, coro, flat] { ShardMain(s, coro, flat); });
   }
   for (std::thread& t : workers) t.join();
 
@@ -104,7 +112,8 @@ void ShardedEngine::Execute(const NodeProgram& program) {
   }
 }
 
-void ShardedEngine::ShardMain(std::uint32_t s, const NodeProgram& program) {
+void ShardedEngine::ShardMain(std::uint32_t s, const NodeProgram* coro,
+                              FlatProgram* flat) {
   try {
     // Build this shard's state and spawn its node programs on the worker
     // thread itself: the Metrics/Scheduler arrays, the contexts, and the
@@ -126,16 +135,25 @@ void ShardedEngine::ShardMain(std::uint32_t s, const NodeProgram& program) {
         }
       }
     }
-    Xoshiro256 root_rng(options_.seed);
-    shard.runners.reserve(local.size());
-    for (NodeIndex v : local) {
-      shard.contexts.emplace_back(graph_, v, *shard.scheduler, shard.metrics,
-                                  root_rng.Split(v));
+    if (flat != nullptr) {
+      // Flat form: one FlatRuntime drives this shard's partition of the
+      // shared program; its StartAll registers the same first wakes the
+      // coroutine spawn-then-Start two-pass would.
+      shard.flat = std::make_unique<FlatRuntime>(*shard.scheduler, *flat,
+                                                 shard.metrics, local);
+      shard.flat->StartAll();
+    } else {
+      Xoshiro256 root_rng(options_.seed);
+      shard.runners.reserve(local.size());
+      for (NodeIndex v : local) {
+        shard.contexts.emplace_back(graph_, v, *shard.scheduler,
+                                    shard.metrics, root_rng.Split(v));
+      }
+      for (NodeContext& ctx : shard.contexts) {
+        shard.runners.emplace_back((*coro)(ctx));
+      }
+      for (TaskRunner& r : shard.runners) r.Start();
     }
-    for (NodeContext& ctx : shard.contexts) {
-      shard.runners.emplace_back(program(ctx));
-    }
-    for (TaskRunner& r : shard.runners) r.Start();
     for (;;) {
       next_round_[s] = shard.scheduler->NextPendingRound();
       barrier_->arrive_and_wait();  // completion computes global_round_
@@ -375,6 +393,13 @@ void ShardedEngine::ReceiveAndResume(std::uint32_t s, Round r) {
     NodeMetrics& nm = shard.metrics.Node(w->node);
     ++nm.awake_rounds;
     if (shard.metrics.WakeTimesEnabled()) nm.wake_times.push_back(r);
+    if (w->handle_address == nullptr) {
+      // Flat node: the shard's FlatRuntime (the scheduler's installed
+      // stepper) advances it in place; `w` stays valid — it lives in the
+      // runtime's stable slot, not a coroutine frame.
+      sched.flat_stepper_->Step(*w);
+      continue;
+    }
     auto handle = std::coroutine_handle<>::from_address(w->handle_address);
     // After resume(), `w` may dangle (the frame advanced past the
     // awaitable); do not touch it again.
@@ -395,6 +420,10 @@ std::uint64_t ShardedEngine::CountUnfinished() const {
       unfinished += partition_.NodesOf(s).size();
       continue;
     }
+    if (shard->flat) {
+      unfinished += shard->flat->CountUnfinished();
+      continue;
+    }
     for (const TaskRunner& r : shard->runners) {
       if (!r.Done()) ++unfinished;
     }
@@ -408,8 +437,12 @@ NodeIndex ShardedEngine::FirstUnfinishedNode() const {
     const std::uint32_t i = partition_.LocalIndex(v);
     // A shard that aborted before spawning (or constructing) has no
     // runners; treat its nodes as unfinished.
-    if (shard == nullptr || i >= shard->runners.size() ||
-        !shard->runners[i].Done()) {
+    if (shard == nullptr) return v;
+    if (shard->flat) {
+      if (!shard->flat->DoneAt(i)) return v;
+      continue;
+    }
+    if (i >= shard->runners.size() || !shard->runners[i].Done()) {
       return v;
     }
   }
@@ -421,6 +454,10 @@ void ShardedEngine::RethrowFirstNodeFailure() const {
     const Shard* shard = shards_[partition_.Owner(v)].get();
     if (shard == nullptr) continue;
     const std::uint32_t i = partition_.LocalIndex(v);
+    if (shard->flat) {
+      shard->flat->RethrowIfFailedAt(i);
+      continue;
+    }
     if (i < shard->runners.size()) shard->runners[i].RethrowIfFailed();
   }
 }

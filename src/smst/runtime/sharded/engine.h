@@ -46,6 +46,7 @@
 
 #include "smst/faults/fault_plan.h"
 #include "smst/graph/graph.h"
+#include "smst/runtime/flat/runtime.h"
 #include "smst/runtime/frame_pool.h"
 #include "smst/runtime/metrics.h"
 #include "smst/runtime/node.h"
@@ -82,6 +83,13 @@ class ShardedEngine {
   // are merged (in shard order) before any rethrow, so callers observe
   // a consistent aborted state. May be called once.
   void Execute(const NodeProgram& program);
+
+  // Flat twin of Execute: each shard drives its partition of `program`
+  // through a scheduler-backed FlatRuntime instead of coroutines. The
+  // single program instance is shared across worker threads — safe
+  // because shards own disjoint node sets and flat programs keep all
+  // mutable state in per-node slots (runtime/flat/program.h).
+  void ExecuteFlat(FlatProgram& program);
 
   // --- post-run views (valid after Execute, even if it threw) ----------
   const Metrics& MergedMetrics() const { return merged_metrics_; }
@@ -123,6 +131,9 @@ class ShardedEngine {
     // frame_pool.cpp), and a chunked pool-backed deque sidesteps that.
     std::deque<NodeContext, FramePoolAllocator<NodeContext>> contexts;
     std::vector<TaskRunner> runners;  // parallel to partition NodesOf
+    // Flat-engine runs own a FlatRuntime instead of contexts/runners
+    // (also parallel to partition NodesOf); exactly one form is live.
+    std::unique_ptr<FlatRuntime> flat;
     // Consumer-side scratch, reused every round: one inbound buffer per
     // producer shard, plus the merge cursors over those buffers.
     std::vector<std::vector<WireEntry>> inbound;
@@ -136,7 +147,10 @@ class ShardedEngine {
     std::vector<std::uint8_t> cross_ports;
   };
 
-  void ShardMain(std::uint32_t s, const NodeProgram& program);
+  // Shared Execute/ExecuteFlat body; exactly one of the programs is
+  // non-null and selects what ShardMain spawns per shard.
+  void ExecuteImpl(const NodeProgram* coro, FlatProgram* flat);
+  void ShardMain(std::uint32_t s, const NodeProgram* coro, FlatProgram* flat);
   void CollectSends(std::uint32_t s, Round r);
   void ReceiveAndResume(std::uint32_t s, Round r);
 

@@ -1,9 +1,12 @@
 #include "smst/runtime/simulator.h"
 
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
 #include "smst/faults/auditor.h"
+#include "smst/runtime/flat/engine.h"
+#include "smst/runtime/flat/runtime.h"
 #include "smst/runtime/sharded/engine.h"
 
 namespace smst {
@@ -41,9 +44,32 @@ SchedulerOptions MakeSchedulerOptions(const SimulatorOptions& o,
 
 }  // namespace
 
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kCoroutine: return "coroutine";
+    case EngineMode::kFlat: return "flat";
+  }
+  return "?";
+}
+
+EngineMode ParseEngineMode(const std::string& name) {
+  if (name == "coroutine") return EngineMode::kCoroutine;
+  if (name == "flat") return EngineMode::kFlat;
+  throw std::invalid_argument("unknown engine '" + name +
+                              "' (valid: coroutine, flat)");
+}
+
 Simulator::Simulator(const WeightedGraph& graph, SimulatorOptions options)
     : graph_(graph), options_(std::move(options)), metrics_(graph.NumNodes()) {
   if (options_.record_wake_times) metrics_.EnableWakeTimes();
+  if (options_.engine == EngineMode::kFlat && options_.trace) {
+    // TraceEvent is defined per coroutine resume (per-wake send/inbox
+    // counts at suspension points); a flat node has no such points, so
+    // reject the combination loudly rather than emit a stream with
+    // different meaning.
+    throw std::invalid_argument(
+        "tracing requires the coroutine engine (--engine coroutine)");
+  }
   if (options_.shards > 0) {
     if (options_.trace) {
       // A sender's model-drop counts are only known receiver-side after
@@ -80,6 +106,11 @@ const FaultStats& Simulator::InjectedFaults() const {
 void Simulator::Execute(const NodeProgram& program) {
   if (ran_) throw std::logic_error("Simulator may run only once");
   ran_ = true;
+  if (options_.engine != EngineMode::kCoroutine) {
+    throw std::logic_error(
+        "SimulatorOptions::engine is flat; drive the run with the "
+        "FlatProgram overload");
+  }
 
   if (sharded_) {
     // The engine owns the per-shard contexts and runners; it merges the
@@ -123,13 +154,68 @@ void Simulator::Execute(const NodeProgram& program) {
   }
 }
 
+void Simulator::ExecuteFlat(FlatProgram& program) {
+  if (ran_) throw std::logic_error("Simulator may run only once");
+  ran_ = true;
+  if (options_.engine != EngineMode::kFlat) {
+    throw std::logic_error(
+        "SimulatorOptions::engine is coroutine; drive the run with the "
+        "NodeProgram overload");
+  }
+
+  if (sharded_) {
+    try {
+      sharded_->ExecuteFlat(program);
+    } catch (...) {
+      sharded_->MergeMetricsInto(metrics_);
+      throw;
+    }
+    sharded_->MergeMetricsInto(metrics_);
+    sharded_->RethrowFirstNodeFailure();
+    return;
+  }
+
+  const bool faulted =
+      options_.fault_plan != nullptr && !options_.fault_plan->Empty();
+  if (!auditor_ && !faulted) {
+    // Nothing observes the event stream (no auditor, no adversary, no
+    // trace — rejected in the constructor), so the run can use the
+    // batched fast engine instead of the scheduler (DESIGN.md §13).
+    flat_engine_ = std::make_unique<FlatEngine>(graph_, metrics_, *scheduler_,
+                                                options_.max_rounds);
+    flat_engine_->Run(program);
+    flat_engine_->RethrowFirstFailure();
+    return;
+  }
+
+  std::vector<NodeIndex> nodes(graph_.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), NodeIndex{0});
+  flat_runtime_ = std::make_unique<FlatRuntime>(*scheduler_, program,
+                                                metrics_, std::move(nodes));
+  flat_runtime_->StartAll();
+  scheduler_->RunUntilIdle();
+  flat_runtime_->RethrowFirstFailure();
+}
+
 std::uint64_t Simulator::CountUnfinished() const {
   if (sharded_) return sharded_->CountUnfinished();
+  if (flat_engine_) return flat_engine_->CountUnfinished();
+  if (flat_runtime_) return flat_runtime_->CountUnfinished();
   std::uint64_t unfinished = 0;
   for (const TaskRunner& r : runners_) {
     if (!r.Done()) ++unfinished;
   }
   return unfinished;
+}
+
+NodeIndex Simulator::FirstUnfinishedNode() const {
+  if (sharded_) return sharded_->FirstUnfinishedNode();
+  if (flat_engine_) return flat_engine_->FirstUnfinishedNode();
+  if (flat_runtime_) return flat_runtime_->FirstUnfinishedNode();
+  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
+    if (!runners_[v].Done()) return v;
+  }
+  return kInvalidNode;
 }
 
 Simulator::AuditSummary Simulator::Audit() const {
@@ -153,15 +239,14 @@ void Simulator::FillAuditSummary(RunOutcome& out) const {
   out.audit_violations = s.violations;
 }
 
-void Simulator::Run(const NodeProgram& program) {
-  Execute(program);
+void Simulator::FinishRun() {
+  const NodeIndex unfinished = FirstUnfinishedNode();
+  if (unfinished != kInvalidNode) {
+    throw std::runtime_error(
+        "node " + std::to_string(unfinished) +
+        " never finished (suspended with an empty wake queue)");
+  }
   if (sharded_) {
-    const NodeIndex v = sharded_->FirstUnfinishedNode();
-    if (v != kInvalidNode) {
-      throw std::runtime_error(
-          "node " + std::to_string(v) +
-          " never finished (suspended with an empty wake queue)");
-    }
     const ShardedEngine::AuditTotals t = sharded_->CheckAndSummarizeAudit();
     sharded_audit_ = AuditSummary{t.audited, t.awake_node_rounds,
                                   t.model_drops, t.violations, t.report};
@@ -169,13 +254,6 @@ void Simulator::Run(const NodeProgram& program) {
       throw std::runtime_error(sharded_audit_.report);
     }
     return;
-  }
-  for (NodeIndex v = 0; v < graph_.NumNodes(); ++v) {
-    if (!runners_[v].Done()) {
-      throw std::runtime_error(
-          "node " + std::to_string(v) +
-          " never finished (suspended with an empty wake queue)");
-    }
   }
   if (auditor_) {
     // Model conformance is part of the fault-free contract: a clean run
@@ -188,10 +266,19 @@ void Simulator::Run(const NodeProgram& program) {
   }
 }
 
-RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
-  RunOutcome out;
+void Simulator::Run(const NodeProgram& program) {
+  Execute(program);
+  FinishRun();
+}
+
+void Simulator::Run(FlatProgram& program) {
+  ExecuteFlat(program);
+  FinishRun();
+}
+
+void Simulator::ClassifyFailure(RunOutcome& out) {
   try {
-    Execute(program);
+    throw;
   } catch (const NonTerminationError& e) {
     out.status = RunStatus::kNonTermination;
     out.detail = e.what();
@@ -206,6 +293,9 @@ RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
     out.status = RunStatus::kCrashedPartition;
     out.detail = e.what();
   }
+}
+
+RunOutcome Simulator::FinishOutcome(RunOutcome out) {
   const std::uint64_t unfinished = CountUnfinished();
   out.unfinished_nodes = unfinished;
   if (out.status == RunStatus::kCompleted && unfinished > 0) {
@@ -225,6 +315,26 @@ RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
   }
   FillAuditSummary(out);
   return out;
+}
+
+RunOutcome Simulator::RunToOutcome(const NodeProgram& program) {
+  RunOutcome out;
+  try {
+    Execute(program);
+  } catch (...) {
+    ClassifyFailure(out);
+  }
+  return FinishOutcome(out);
+}
+
+RunOutcome Simulator::RunToOutcome(FlatProgram& program) {
+  RunOutcome out;
+  try {
+    ExecuteFlat(program);
+  } catch (...) {
+    ClassifyFailure(out);
+  }
+  return FinishOutcome(out);
 }
 
 }  // namespace smst

@@ -12,6 +12,7 @@
 #include "smst/faults/fault_plan.h"
 #include "smst/faults/run_outcome.h"
 #include "smst/graph/graph.h"
+#include "smst/runtime/flat/program.h"
 #include "smst/runtime/metrics.h"
 #include "smst/runtime/node.h"
 #include "smst/runtime/sharded/partition.h"
@@ -21,6 +22,20 @@ namespace smst {
 
 class Auditor;
 class ShardedEngine;
+class FlatEngine;
+class FlatRuntime;
+
+// Which execution engine runs the node programs. kCoroutine drives one
+// coroutine per node (the NodeProgram overloads); kFlat drives a batched
+// FlatProgram state machine (the FlatProgram overloads) with
+// bit-identical results (DESIGN.md §13). The option must match the
+// overload used — the mismatch is a logic_error.
+enum class EngineMode : std::uint8_t { kCoroutine, kFlat };
+
+const char* EngineModeName(EngineMode mode);
+// Parses "coroutine" / "flat" (the CLI/harness --engine values); throws
+// std::invalid_argument naming the valid values on anything else.
+EngineMode ParseEngineMode(const std::string& name);
 
 // Whether this run gets a runtime invariant auditor (see faults/auditor.h).
 // kDefault = on in builds configured with SMST_AUDIT (all Debug builds),
@@ -47,6 +62,11 @@ struct SimulatorOptions {
   // engine for every K (DESIGN.md §12). `trace` is serial-only.
   std::uint32_t shards = 0;
   ShardPolicy shard_policy = ShardPolicy::kContiguousBlocks;
+  // Execution engine; kFlat requires driving the run with the
+  // FlatProgram overloads of Run/RunToOutcome. `trace` is
+  // coroutine-only (events are defined per coroutine resume), rejected
+  // loudly in the constructor like trace+shards.
+  EngineMode engine = EngineMode::kCoroutine;
 };
 
 // A node program: the algorithm one node runs. Must eventually finish.
@@ -72,6 +92,13 @@ class Simulator {
   // once per Simulator, instead of Run.
   RunOutcome RunToOutcome(const NodeProgram& program);
 
+  // Flat-engine twins of Run/RunToOutcome (SimulatorOptions::engine must
+  // be kFlat). The caller owns `program` (one instance holds every
+  // node's state); results are bit-identical to running the coroutine
+  // form of the same algorithm.
+  void Run(FlatProgram& program);
+  RunOutcome RunToOutcome(FlatProgram& program);
+
   const Metrics& GetMetrics() const { return metrics_; }
   RunStats Stats() const { return metrics_.Summarize(); }
   // Null unless this run has a serial-engine auditor installed (sharded
@@ -95,7 +122,18 @@ class Simulator {
   // Shared body of Run/RunToOutcome: spawn, start, run until idle,
   // rethrow the first failed node program.
   void Execute(const NodeProgram& program);
+  // Flat twin of Execute: picks the fault-free fast engine
+  // (runtime/flat/engine.h) when nothing observes the event stream, the
+  // scheduler-backed FlatRuntime otherwise, or hands the program to the
+  // sharded engine.
+  void ExecuteFlat(FlatProgram& program);
+  // Post-Execute tail shared by the coroutine and flat overloads.
+  void FinishRun();
+  RunOutcome FinishOutcome(RunOutcome out);
+  // Classifies the in-flight exception into `out` (rethrows logic_error).
+  static void ClassifyFailure(RunOutcome& out);
   std::uint64_t CountUnfinished() const;
+  NodeIndex FirstUnfinishedNode() const;
   void FillAuditSummary(RunOutcome& out) const;
 
   const WeightedGraph& graph_;
@@ -112,6 +150,9 @@ class Simulator {
   // engine owns the per-shard equivalents.
   std::deque<NodeContext> contexts_;
   std::vector<TaskRunner> runners_;
+  // Flat-engine state (at most one is live, per ExecuteFlat's choice).
+  std::unique_ptr<FlatRuntime> flat_runtime_;
+  std::unique_ptr<FlatEngine> flat_engine_;
   // Filled by Run/RunToOutcome after a sharded run (the shard auditors'
   // CheckAwakeMeter cross-check runs exactly once, there).
   AuditSummary sharded_audit_;

@@ -11,14 +11,7 @@
 
 namespace smst {
 
-namespace {
-
-// Coloring-internal message tags.
-constexpr std::uint16_t kTagColorChoice = 60;
-constexpr std::uint16_t kTagColorAnnounce = 61;
-constexpr std::uint16_t kTagColorNbr = 62;
-
-FragColor GreedyChoice(const std::map<NodeId, FragColor>& taken) {
+FragColor ColoringGreedyChoice(const std::map<NodeId, FragColor>& taken) {
   for (FragColor c : {FragColor::kBlue, FragColor::kRed, FragColor::kOrange,
                       FragColor::kBlack, FragColor::kGreen}) {
     bool used = false;
@@ -29,15 +22,13 @@ FragColor GreedyChoice(const std::map<NodeId, FragColor>& taken) {
   throw std::logic_error("FastAwakeColoring: palette exhausted (degree > 4?)");
 }
 
-FragColor CheckedColor(std::uint64_t raw) {
+FragColor ColoringCheckedColor(std::uint64_t raw) {
   if (raw < 1 || raw > 5) {
     throw std::runtime_error("FastAwakeColoring: invalid color value " +
                              std::to_string(raw));
   }
   return static_cast<FragColor>(raw);
 }
-
-}  // namespace
 
 const char* FragColorName(FragColor c) {
   switch (c) {
@@ -81,12 +72,12 @@ Task<ColoringResult> FastAwakeColoring(NodeContext& ctx, const LdtState& ldt,
     if (stage == ldt.fragment_id) {
       // Our turn. All earlier-colored neighbors are in neighbor_colors,
       // so every node of the fragment computes the same greedy choice.
-      const FragColor choice = GreedyChoice(result.neighbor_colors);
+      const FragColor choice = ColoringGreedyChoice(result.neighbor_colors);
       UpcastItem offer{static_cast<std::uint64_t>(choice), 0, 0};
       UpcastItem agg = co_await UpcastMin(ctx, ldt, b1, offer);
       Message announced = co_await FragmentBroadcast(
           ctx, ldt, b2, Message{kTagColorChoice, agg.key, 0, 0});
-      result.my_color = CheckedColor(announced.a);
+      result.my_color = ColoringCheckedColor(announced.a);
       // Announce to neighbor fragments over the valid-MOE edges.
       if (!h_ports.empty()) {
         SendBatch sends;
@@ -117,7 +108,7 @@ Task<ColoringResult> FastAwakeColoring(NodeContext& ctx, const LdtState& ldt,
       UpcastItem agg = co_await UpcastMin(ctx, ldt, b4, heard);
       Message learned = co_await FragmentBroadcast(
           ctx, ldt, b5, Message{kTagColorNbr, agg.key, stage, 0});
-      result.neighbor_colors[stage] = CheckedColor(learned.a);
+      result.neighbor_colors[stage] = ColoringCheckedColor(learned.a);
     }
   }
   co_return result;

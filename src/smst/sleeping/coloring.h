@@ -26,6 +26,12 @@
 
 namespace smst {
 
+// Coloring-internal message tags (< 100 like the rest of the toolbox);
+// shared with the flat lowering in sleeping/flat_procedures.h.
+inline constexpr std::uint16_t kTagColorChoice = 60;
+inline constexpr std::uint16_t kTagColorAnnounce = 61;
+inline constexpr std::uint16_t kTagColorNbr = 62;
+
 // Palette in priority order; kNone = not yet colored.
 enum class FragColor : std::uint8_t {
   kNone = 0,
@@ -61,6 +67,12 @@ struct ColoringResult {
 // Schedule blocks consumed per stage and in total (every node's cursor
 // advances by kColoringBlocksPerStage * N regardless of participation).
 inline constexpr std::uint64_t kColoringBlocksPerStage = 5;
+
+// The fragment-wide greedy palette choice (highest-priority color no
+// already-colored H-neighbor took) and the received-color validation,
+// shared by the coroutine and flat forms of Fast-Awake-Coloring.
+FragColor ColoringGreedyChoice(const std::map<NodeId, FragColor>& taken);
+FragColor ColoringCheckedColor(std::uint64_t raw);
 
 // Runs the N-stage coloring. `nbr` lists the fragment's H-neighbors
 // (fragment-wide consistent); `h_ports` this node's own boundary edges.

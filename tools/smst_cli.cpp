@@ -23,6 +23,7 @@
 #include "smst/lower_bounds/grc.h"
 #include "smst/mst/api.h"
 #include "smst/runtime/parallel_runner.h"
+#include "smst/runtime/simulator.h"
 #include "smst/util/args.h"
 #include "smst/util/stats.h"
 #include "smst/util/table.h"
@@ -57,6 +58,9 @@ flags:
   --shards   simulator worker shards (0 = serial engine); results are
              bit-identical for every value                           [0]
   --shard-policy  block | rr — node-to-shard partition policy        [block]
+  --engine   coroutine | flat — per-node coroutines, or the batched
+             state-machine lowering (results are bit-identical; flat
+             trades generality for throughput, see DESIGN.md §13)    [coroutine]
   --energy   off | mote | wifi | ble                                 [off]
   --quiet    only the summary line
 )";
@@ -147,6 +151,15 @@ int main(int argc, char** argv) {
     opt.shards = static_cast<std::uint32_t>(args.GetUint("shards", 0));
     opt.shard_policy =
         smst::ParseShardPolicy(args.GetString("shard-policy", "block"));
+    opt.engine = smst::ParseEngineMode(args.GetString("engine", "coroutine"));
+    if (opt.engine == smst::EngineMode::kFlat &&
+        !smst::SupportsFlatEngine(algo, opt)) {
+      std::cerr << "error: --engine flat is not lowered for "
+                << smst::MstAlgorithmName(algo)
+                << " (supported: randomized, deterministic with the "
+                   "fast-awake coloring); use --engine coroutine\n";
+      return 2;
+    }
     const std::uint64_t num_seeds = args.GetUint("seeds", 1);
     const auto threads = static_cast<unsigned>(args.GetUint("threads", 0));
     if (auto unused = args.UnusedFlags(); !unused.empty()) {
