@@ -130,10 +130,7 @@ Task<void> NodeMain(NodeContext& ctx, Shared* sh) {
           incoming_ports.push_back(m.port);
         }
       }
-      // Comparator runs synchronously inside std::sort; it never crosses
-      // a suspension point.
       std::sort(incoming_ports.begin(), incoming_ports.end(),
-                // smst-lint-disable-next-line(coro-ref-capture)
                 [&](std::uint32_t a, std::uint32_t b) {
                   return ctx.WeightAtPort(a) < ctx.WeightAtPort(b);
                 });

@@ -21,6 +21,15 @@ constexpr auto FromPort = MessageFromPort;
 
 }  // namespace
 
+// Each flat class below is a hand-lowered state machine for a coroutine
+// procedure; the twin directives let smst_lint cross-check that the two
+// sides still use the same message tags and error strings.
+// smst-lint-twin(FlatBroadcast=FragmentBroadcast)
+// smst-lint-twin(FlatUpcastMin=UpcastMin)
+// smst-lint-twin(FlatUpcastSum=UpcastSum)
+// smst-lint-twin(FlatMerge=MergingFragments)
+// smst-lint-twin(FlatColoring=FastAwakeColoring)
+
 // --- Fragment-Broadcast -----------------------------------------------
 
 Round FlatBroadcast::Begin(const FlatNodeRef& node, const LdtState& l,

@@ -44,8 +44,6 @@ std::vector<std::uint64_t> SampleDistinct(std::uint64_t lo, std::uint64_t hi,
     std::uint64_t t = lo + rng.NextBelow(j + 1);
     if (!chosen.insert(t).second) chosen.insert(lo + j);
   }
-  // Hash order is inert here: the copy is sorted before anything can
-  // observe it. smst-lint-disable-next-line(det-unordered-iter)
   std::vector<std::uint64_t> out(chosen.begin(), chosen.end());
   std::sort(out.begin(), out.end());
   return out;

@@ -86,6 +86,8 @@ TEST(AuditorTest, DerivedBudgetAdmitsEveryLegitimateField) {
   // The packed-lane idiom (coloring.cpp Pack4): four log-sized values in
   // 16-bit lanes. Positionally wide, informationally O(log n) — legal.
   Message packed;
+  // The unguarded pack is the point of the test: the Auditor, not an
+  // assert, is the runtime check. smst-lint-disable-next-line(congest-lane-pack)
   packed.a = g.MaxId() | (g.MaxId() << 16) | (g.MaxId() << 32) |
              (g.MaxId() << 48);
   audit.OnSend(1, 0, 1, packed);

@@ -13,6 +13,8 @@ struct Awaiter {};
 
 Awaiter NextRound();
 void Register(const std::uint64_t* slot);
+template <typename F>
+Awaiter ApplyEach(std::vector<int>& xs, F f);
 
 Task<int> RefCaptureInCoroutine(std::vector<int> xs) {
   int floor = 10;
@@ -26,6 +28,12 @@ Task<int> MissingCoReturn(int rounds) {  // coro-missing-co-return
   for (int i = 0; i < rounds; ++i) {
     co_await NextRound();
   }
+}
+
+Task<int> InlineRefInSuspendingStatement(std::vector<int> xs) {
+  int lo = 0;
+  co_await ApplyEach(xs, [&](int v) { lo += v; });  // coro-ref-capture
+  co_return lo;
 }
 
 Task<int> LocalAddressAcrossAwait() {

@@ -34,6 +34,24 @@ Task<int> AddressAfterLastAwait() {
   co_return static_cast<int>(counter);
 }
 
+Task<int> InlineRefBeforeSuspension(std::vector<int> xs) {
+  int lo = 10;
+  xs.erase(std::remove_if(xs.begin(), xs.end(),
+                          [&](int v) { return v < lo; }),
+           xs.end());  // the lambda is consumed here; no suspension yet
+  co_await NextRound();
+  co_return static_cast<int>(xs.size());
+}
+
+Task<int> AddressConfinedToBlock() {
+  {
+    std::uint64_t counter = 0;
+    Register(&counter);  // the scope closes before any suspension
+  }
+  co_await NextRound();
+  co_return 0;
+}
+
 int RefCaptureOutsideCoroutine(std::vector<int>& xs) {
   int floor = 10;  // plain function: by-reference capture is idiomatic
   auto keep = [&](int v) { return v > floor; };

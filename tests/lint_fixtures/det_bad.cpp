@@ -33,8 +33,8 @@ int OrderLeaks() {
     sum += k + v;
   }
   std::unordered_set<int> seen;
-  auto it = seen.begin();  // det-unordered-iter
-  return sum + (it == seen.end() ? 0 : *it);
+  auto it = seen.begin();  // iterator is pending here, not yet a finding
+  return sum + (it == seen.end() ? 0 : *it);  // det-unordered-iter (read of it)
 }
 
 struct Node {

@@ -47,4 +47,16 @@ int ValueKeysFine() {
   return by_name.size();
 }
 
+std::vector<int> SortBeforeUseIsFine() {
+  // The canonical laundering idiom: copy out of the unordered container,
+  // sort, THEN read. The sort kills the taint, so nothing downstream fires.
+  std::unordered_set<int> pool;
+  pool.insert(3);
+  std::vector<int> out(pool.begin(), pool.end());
+  std::sort(out.begin(), out.end());
+  int sum = 0;
+  for (int x : out) sum += x;
+  return out;
+}
+
 }  // namespace fixture

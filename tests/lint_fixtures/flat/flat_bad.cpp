@@ -1,0 +1,58 @@
+// smst_lint fixture: flat-lowering violations. A switch becomes a "Duff
+// switch" when its body mentions SMST_FLAT_AWAKE or SMST_FLAT_SUB; the
+// flat rules key on that, not on the directory, so this fixture needs no
+// special path segment. Lint input only — never compiled.
+
+namespace fixture {
+
+struct Frame {
+  int pc = 0;
+  int phase = 0;
+  int saved = 0;
+};
+
+// Neither a `case 0:` entry label nor a `default:` guard: both gaps are
+// reported against the switch line.
+int ResumeNoEntry(Frame& fr) {
+  switch (fr.pc) {  // flat-missing-case (x2: no case 0, no default)
+    case 1:
+      fr.phase = 2;
+      SMST_FLAT_AWAKE(fr, 2);
+      return 1;
+    case 2:
+      return 0;
+  }
+  return -1;
+}
+
+// State 0 bleeds into state 1: the span before `case 1:` ends in an
+// assignment, not a terminator.
+int FallsThrough(Frame& fr) {
+  switch (fr.pc) {
+    default:
+      throw fr.pc;
+    case 0:
+      fr.phase = 1;
+      SMST_FLAT_AWAKE(fr, 1);
+      fr.saved = fr.phase;
+    case 1:  // flat-fallthrough
+      return fr.saved;
+  }
+}
+
+// `total` lives on the C++ stack, which does not survive the return
+// hidden inside SMST_FLAT_AWAKE; the read on resume sees a fresh frame.
+// This is the minimal repro for flat-local-across-resume.
+int LocalAcrossResume(Frame& fr) {
+  switch (fr.pc) {
+    default:
+      throw fr.pc;
+    case 0: {
+      int total = fr.phase + 1;
+      SMST_FLAT_AWAKE(fr, 1);
+      return total;  // flat-local-across-resume
+    }
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,54 @@
+// smst_lint fixture: flat/coroutine twin drift. Each directive pairs a
+// flat class with its coroutine twin; the analyzer collects kTag*
+// identifiers and string literals from both sides and reports drift at
+// the directive line. Lint input only — never compiled.
+
+namespace fixture {
+
+template <typename T>
+struct Task {};
+struct Frame;
+struct Ctx;
+struct Awaiter {};
+
+Awaiter Tick(Ctx& ctx);
+void Send(int tag);
+void Fail(const char* what);
+
+// The coroutine gained a reply tag and reworded its error string; the
+// flat lowering was never updated to match.
+// smst-lint-twin(FlatEcho=EchoWave)   <- flat-twin-drift fires here
+struct FlatEcho {
+  int Start(Frame& fr) {
+    Send(kTagEchoProbe);
+    Fail("echo: probe lost");
+    return 1;
+  }
+};
+
+Task<int> EchoWave(Ctx& ctx) {
+  Send(kTagEchoProbe);
+  Send(kTagEchoReply);
+  Fail("echo: reply lost");
+  co_await Tick(ctx);
+  co_return 0;
+}
+
+// A matched pair must stay silent: identical tags and strings.
+// smst-lint-twin(FlatSum=SumWave)
+struct FlatSum {
+  int Start(Frame& fr) {
+    Send(kTagSumUp);
+    Fail("sum: overflow");
+    return 1;
+  }
+};
+
+Task<int> SumWave(Ctx& ctx) {
+  Send(kTagSumUp);
+  Fail("sum: overflow");
+  co_await Tick(ctx);
+  co_return 0;
+}
+
+}  // namespace fixture

@@ -13,9 +13,13 @@ struct NodeContext {
 };
 
 std::uint64_t TallyByFragment(const NodeContext& ctx) {
-  std::unordered_map<std::uint64_t, int> per_frag;  // det-unordered-protocol
+  std::unordered_map<std::uint64_t, int> per_frag;  // decl alone: no finding
   (void)ctx;
-  return per_frag.size();
+  std::uint64_t digest = 0;
+  for (const auto& [frag, n] : per_frag) {  // det-unordered-iter
+    digest = digest * 31 + frag + static_cast<std::uint64_t>(n);
+  }
+  return digest;  // det-unordered-protocol: hash-order digest escapes
 }
 
 std::uint64_t PackLanesUnguarded(std::uint64_t a, std::uint64_t b,

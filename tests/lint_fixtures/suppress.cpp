@@ -22,6 +22,21 @@ int MultiRuleSuppression() {
   return rand() + static_cast<int>(time(nullptr));
 }
 
+struct Frame {
+  int pc = 0;
+};
+
+int SuppressedFlatEntry(Frame& fr) {
+  // smst-lint-disable-next-line(flat-missing-case)
+  switch (fr.pc) {  // no case 0, but the suppression covers it
+    case 1:
+      SMST_FLAT_AWAKE(fr, 2);
+      return 1;
+    default:
+      throw fr.pc;
+  }
+}
+
 int WildcardSuppression() {
   std::unordered_map<int, int> m;
   m[1] = 2;

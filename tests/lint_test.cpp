@@ -1,6 +1,7 @@
 // Tests for tools/smst_lint: exact fixture-corpus findings, suppression
-// and baseline semantics, JSON output, and the shipped-tree-clean
-// guarantee (src/ + tools/ modulo tools/smst_lint/baseline.txt).
+// and baseline semantics, JSON/SARIF output, parallel byte-identity, the
+// incremental cache, and the shipped-tree-clean guarantee
+// (src/ + tools/ + tests/ + bench/ modulo tools/smst_lint/baseline.txt).
 //
 // The analyzer binary is exercised end to end: each test invokes it the
 // way CI and the `lint` target do. SMST_LINT_BIN and SMST_REPO_ROOT are
@@ -10,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -60,15 +62,23 @@ std::string FixturePath(const std::string& name) {
   return std::string("tests/lint_fixtures/") + name;
 }
 
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
 TEST(SmstLint, FixtureCorpusExactFindingSet) {
   const LintRun run = RunLint("tests/lint_fixtures");
   EXPECT_EQ(run.exit_code, 1);
   const std::set<std::string> expected = {
       "tests/lint_fixtures/baseline_case.cpp:11:[det-rand]",
       "tests/lint_fixtures/baseline_case.cpp:15:[det-wall-clock]",
-      "tests/lint_fixtures/coro_bad.cpp:19:[coro-ref-capture]",
-      "tests/lint_fixtures/coro_bad.cpp:25:[coro-missing-co-return]",
-      "tests/lint_fixtures/coro_bad.cpp:33:[coro-local-addr]",
+      "tests/lint_fixtures/coro_bad.cpp:21:[coro-ref-capture]",
+      "tests/lint_fixtures/coro_bad.cpp:27:[coro-missing-co-return]",
+      "tests/lint_fixtures/coro_bad.cpp:35:[coro-ref-capture]",
+      "tests/lint_fixtures/coro_bad.cpp:41:[coro-local-addr]",
       "tests/lint_fixtures/det_bad.cpp:14:[det-rand]",
       "tests/lint_fixtures/det_bad.cpp:15:[det-rand]",
       "tests/lint_fixtures/det_bad.cpp:16:[det-random-device]",
@@ -76,19 +86,39 @@ TEST(SmstLint, FixtureCorpusExactFindingSet) {
       "tests/lint_fixtures/det_bad.cpp:22:[det-wall-clock]",
       "tests/lint_fixtures/det_bad.cpp:23:[det-wall-clock]",
       "tests/lint_fixtures/det_bad.cpp:32:[det-unordered-iter]",
-      "tests/lint_fixtures/det_bad.cpp:36:[det-unordered-iter]",
+      "tests/lint_fixtures/det_bad.cpp:37:[det-unordered-iter]",
       "tests/lint_fixtures/det_bad.cpp:45:[det-pointer-key]",
+      "tests/lint_fixtures/flat/flat_bad.cpp:17:[flat-missing-case]",
+      "tests/lint_fixtures/flat/flat_bad.cpp:38:[flat-fallthrough]",
+      "tests/lint_fixtures/flat/flat_bad.cpp:53:[flat-local-across-resume]",
+      "tests/lint_fixtures/flat/twin_drift.cpp:20:[flat-twin-drift]",
       "tests/lint_fixtures/mst/congest_bad.cpp:9:[congest-scheduler-access]",
       "tests/lint_fixtures/mst/congest_bad.cpp:12:[congest-scheduler-access]",
-      "tests/lint_fixtures/mst/congest_bad.cpp:16:[det-unordered-protocol]",
-      "tests/lint_fixtures/mst/congest_bad.cpp:23:[congest-lane-pack]",
+      "tests/lint_fixtures/mst/congest_bad.cpp:19:[det-unordered-iter]",
+      "tests/lint_fixtures/mst/congest_bad.cpp:22:[det-unordered-protocol]",
+      "tests/lint_fixtures/mst/congest_bad.cpp:27:[congest-lane-pack]",
+      "tests/lint_fixtures/sharded/shard_bad.cpp:26:[shard-barrier-order]",
+      "tests/lint_fixtures/sharded/shard_bad.cpp:33:[shard-barrier-order]",
+      "tests/lint_fixtures/sharded/shard_bad.cpp:40:[shard-local-escape]",
   };
   EXPECT_EQ(FindingTriples(run.stdout_text), expected);
 }
 
+TEST(SmstLint, FlatLocalAcrossResumeMinimalRepro) {
+  // The acceptance repro: a switch-local read after an SMST_FLAT_AWAKE
+  // resume point must fire, pointing at the read.
+  const LintRun run = RunLint(FixturePath("flat/flat_bad.cpp"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.stdout_text.find(
+                "flat_bad.cpp:53: [flat-local-across-resume] local 'total'"),
+            std::string::npos)
+      << run.stdout_text;
+}
+
 TEST(SmstLint, GoodFixturesAreClean) {
   for (const char* name :
-       {"det_good.cpp", "coro_good.cpp", "mst/congest_good.cpp"}) {
+       {"det_good.cpp", "coro_good.cpp", "mst/congest_good.cpp",
+        "flat/flat_good.cpp", "sharded/shard_good.cpp"}) {
     const LintRun run = RunLint(FixturePath(name));
     EXPECT_EQ(run.exit_code, 0) << name << "\n" << run.stdout_text;
     EXPECT_TRUE(FindingTriples(run.stdout_text).empty()) << name;
@@ -107,7 +137,9 @@ TEST(SmstLint, BaselineFiltersListedFindingsOnly) {
   EXPECT_EQ(RunLint(target).exit_code, 1);
   EXPECT_EQ(FindingTriples(RunLint(target).stdout_text).size(), 2u);
 
-  // With it: only the non-baselined det-wall-clock survives.
+  // With it: only the non-baselined det-wall-clock survives. The fixture
+  // baseline uses the legacy `path|rule|text` key form, so this also
+  // pins the one-release fallback.
   const LintRun filtered = RunLint(
       "--baseline " + std::string(SMST_REPO_ROOT) +
       "/tests/lint_fixtures/baseline_case.txt " + target);
@@ -129,10 +161,40 @@ TEST(SmstLint, WriteBaselineRoundTripsToClean) {
   std::remove(tmp.c_str());
 }
 
+TEST(SmstLint, PruneBaselineMigratesKeysAndDropsStale) {
+  // Seed a baseline holding one legacy-format live entry and one stale
+  // entry; --prune-baseline must rewrite it to just the live entry, in
+  // the v2 content-hash key form.
+  const std::string tmp = testing::TempDir() + "smst_lint_prune.txt";
+  {
+    std::ofstream out(tmp);
+    out << "tests/lint_fixtures/baseline_case.cpp|det-rand|return rand(); "
+           "// in baseline_case.txt: does not fail the run\n";
+    out << "tests/lint_fixtures/gone.cpp|det-rand|rand();\n";
+  }
+  const LintRun prune = RunLint("--baseline " + tmp + " --prune-baseline " +
+                                FixturePath("baseline_case.cpp"));
+  EXPECT_EQ(prune.exit_code, 1);  // det-wall-clock is still active
+
+  const std::string pruned = ReadAll(tmp);
+  EXPECT_NE(pruned.find("baseline_case.cpp|det-rand|h:"), std::string::npos)
+      << pruned;
+  EXPECT_EQ(pruned.find("gone.cpp"), std::string::npos) << pruned;
+  EXPECT_EQ(pruned.find("return rand()"), std::string::npos) << pruned;
+
+  // The migrated file still filters the same finding.
+  const LintRun reread =
+      RunLint("--baseline " + tmp + " " + FixturePath("baseline_case.cpp"));
+  const std::set<std::string> expected = {
+      "tests/lint_fixtures/baseline_case.cpp:15:[det-wall-clock]"};
+  EXPECT_EQ(FindingTriples(reread.stdout_text), expected);
+  std::remove(tmp.c_str());
+}
+
 TEST(SmstLint, ShippedTreeIsCleanModuloBaseline) {
   const LintRun run =
       RunLint("--baseline " + std::string(SMST_REPO_ROOT) +
-              "/tools/smst_lint/baseline.txt src tools");
+              "/tools/smst_lint/baseline.txt src tools tests bench");
   EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
   EXPECT_TRUE(FindingTriples(run.stdout_text).empty()) << run.stdout_text;
 }
@@ -149,6 +211,55 @@ TEST(SmstLint, JsonOutputReportsRulesAndCounts) {
   EXPECT_NE(run.stdout_text.find("\"baselined\": true"), std::string::npos);
   EXPECT_NE(run.stdout_text.find("\"active\": 1, \"baselined\": 1"),
             std::string::npos);
+  EXPECT_NE(run.stdout_text.find("\"files_analyzed\": 1"), std::string::npos);
+  EXPECT_NE(run.stdout_text.find("\"files_cached\": 0"), std::string::npos);
+}
+
+TEST(SmstLint, SarifOutputHasDriverRulesAndResults) {
+  const std::string tmp = testing::TempDir() + "smst_lint_out.sarif";
+  const LintRun run = RunLint(
+      "--sarif " + tmp + " --baseline " + std::string(SMST_REPO_ROOT) +
+      "/tests/lint_fixtures/baseline_case.txt " +
+      FixturePath("baseline_case.cpp"));
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string sarif = ReadAll(tmp);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"smst_lint\""), std::string::npos);
+  // Every rule is described in the driver block, findings become results
+  // with a physical location, and baselined findings carry an external
+  // suppression rather than being dropped.
+  EXPECT_NE(sarif.find("\"id\": \"flat-twin-drift\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"det-wall-clock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"det-rand\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 15"), std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\""), std::string::npos);
+  EXPECT_NE(sarif.find("tests/lint_fixtures/baseline_case.cpp"),
+            std::string::npos);
+  std::remove(tmp.c_str());
+}
+
+TEST(SmstLint, ParallelRunsAreByteIdentical) {
+  const LintRun one = RunLint("--json --jobs 1 tests/lint_fixtures");
+  const LintRun four = RunLint("--json --jobs 4 tests/lint_fixtures");
+  EXPECT_EQ(one.exit_code, four.exit_code);
+  EXPECT_EQ(one.stdout_text, four.stdout_text);
+}
+
+TEST(SmstLint, IncrementalCacheSkipsUnchangedFiles) {
+  const std::string dir = testing::TempDir() + "smst_lint_cache";
+  std::filesystem::remove_all(dir);
+  const LintRun cold = RunLint("--json --cache " + dir +
+                               " tests/lint_fixtures");
+  EXPECT_NE(cold.stdout_text.find("\"files_cached\": 0"), std::string::npos)
+      << cold.stdout_text;
+  const LintRun warm = RunLint("--json --cache " + dir +
+                               " tests/lint_fixtures");
+  EXPECT_NE(warm.stdout_text.find("\"files_analyzed\": 0"), std::string::npos)
+      << warm.stdout_text;
+  // Cached and fresh runs agree on the findings themselves.
+  EXPECT_EQ(cold.exit_code, warm.exit_code);
+  EXPECT_EQ(FindingTriples(cold.stdout_text), FindingTriples(warm.stdout_text));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SmstLint, ListRulesCoversAllPacks) {
@@ -158,7 +269,9 @@ TEST(SmstLint, ListRulesCoversAllPacks) {
        {"det-rand", "det-random-device", "det-wall-clock",
         "det-unordered-iter", "det-unordered-protocol", "det-pointer-key",
         "congest-scheduler-access", "congest-lane-pack", "coro-ref-capture",
-        "coro-missing-co-return", "coro-local-addr"}) {
+        "coro-missing-co-return", "coro-local-addr", "flat-missing-case",
+        "flat-fallthrough", "flat-local-across-resume", "flat-twin-drift",
+        "shard-barrier-order", "shard-local-escape"}) {
     EXPECT_NE(run.stdout_text.find(rule), std::string::npos) << rule;
   }
 }

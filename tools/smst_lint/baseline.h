@@ -1,18 +1,27 @@
 // smst_lint baseline: pre-existing findings that don't block the build.
 //
-// Entries key on (file, rule, normalized source line text) rather than
-// line numbers, so unrelated edits above a baselined site don't invalidate
-// the baseline. Format, one entry per line:
+// v2 entries key on (file, rule, content hash of the normalized source
+// line) rather than line numbers, so unrelated edits above a baselined
+// site don't invalidate the baseline and long lines don't bloat the file.
+// Format, one entry per line:
 //
-//   path|rule-id|normalized line text
+//   path|rule-id|h:<16 hex digits>
 //
-// `#` starts a comment; blank lines are ignored. Normalization trims the
-// line and collapses runs of whitespace, so reformatting alone doesn't
-// unbaseline a finding (changing the code does — which is the point).
+// The hash is FNV-1a 64 over the line text with ALL whitespace stripped,
+// so reformatting alone doesn't unbaseline a finding (changing the code
+// does — which is the point).
+//
+// Legacy v1 entries (`path|rule-id|normalized line text`) are still
+// accepted for one release so existing baselines keep working; running
+// with --write-baseline or --prune-baseline rewrites them as v2 keys.
+//
+// `#` starts a comment; blank lines are ignored.
 #pragma once
 
-#include <set>
+#include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rules.h"
@@ -26,18 +35,35 @@ class Baseline {
   static Baseline Parse(const std::string& text,
                         std::vector<std::string>* errors);
 
-  static std::string NormalizeLine(const std::string& line);
-  static std::string KeyFor(const Finding& f,
-                            const std::vector<std::string>& source_lines);
+  static std::uint64_t Fnv1a64(std::string_view data);
 
-  bool Contains(const std::string& key) const { return keys_.count(key) != 0; }
-  void Insert(std::string key) { keys_.insert(std::move(key)); }
+  // v2 key for a finding: path|rule|h:<hash of norm_text sans whitespace>.
+  static std::string KeyFor(const Finding& f);
+  // v1 key, accepted for one release: path|rule|normalized line text.
+  static std::string LegacyKeyFor(const Finding& f);
+
+  bool Contains(const std::string& key) const {
+    return keys_.count(key) != 0;
+  }
+  void Insert(std::string key) { keys_.emplace(std::move(key), false); }
+
+  // True when the finding matches a v2 or legacy entry; the matching
+  // entry is marked used (the survivors of --prune-baseline).
+  bool Matches(const Finding& f);
 
   // Serialized, sorted, with a header comment — for --write-baseline.
+  // Legacy keys that matched a finding this run are rewritten as v2.
   std::string Serialize() const;
 
+  // Only the entries that matched a finding this run (v2 form) — the
+  // output of --prune-baseline. `dropped` reports how many entries the
+  // prune removed.
+  std::string SerializeUsed(std::size_t* dropped) const;
+
  private:
-  std::set<std::string> keys_;
+  // key -> (used this run, v2 rewrite of the key if it was legacy)
+  std::map<std::string, bool> keys_;
+  std::map<std::string, std::string> legacy_rewrites_;
 };
 
 }  // namespace smst_lint

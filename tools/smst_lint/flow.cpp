@@ -1,0 +1,290 @@
+#include "flow.h"
+
+#include <map>
+#include <set>
+
+namespace smst_lint {
+namespace {
+
+const std::set<std::string_view> kUnordered = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+bool IsBeginCall(const Tokens& t, std::size_t i) {
+  // t[i] is the container ident; matches `X . begin|cbegin|rbegin|crbegin (`.
+  return i + 3 < t.size() && t[i + 1].Is(".") &&
+         IsAnyOf(t[i + 2], {"begin", "cbegin", "rbegin", "crbegin"}) &&
+         t[i + 3].Is("(");
+}
+
+// First identifier at or after `from` (stopping at `until`), skipping
+// namespace qualifiers — the "base" of an expression like `std::move(x)`
+// is x, of `*ptr` is ptr.
+std::size_t BaseIdent(const Tokens& t, std::size_t from, std::size_t until) {
+  for (std::size_t k = from; k < until; ++k) {
+    if (t[k].kind != Token::Kind::kIdent) continue;
+    if (k + 1 < until && t[k + 1].Is("::")) continue;  // qualifier
+    if (IsAnyOf(t[k], {"const", "auto", "move"})) continue;
+    return k;
+  }
+  return kNoMatch;
+}
+
+// Start of the statement containing token `i` (one past the previous
+// `;` / `{` / `}`, bounded below by `floor`).
+std::size_t StmtStart(const Tokens& t, std::size_t i, std::size_t floor) {
+  for (std::size_t k = i; k-- > floor;) {
+    if (t[k].Is(";") || t[k].Is("{") || t[k].Is("}")) return k + 1;
+  }
+  return floor;
+}
+
+std::size_t StmtEnd(const Tokens& t, std::size_t i, std::size_t ceil) {
+  for (std::size_t k = i; k < ceil; ++k) {
+    if (t[k].Is(";")) return k;
+  }
+  return ceil;
+}
+
+}  // namespace
+
+bool IsUnorderedType(std::string_view type) {
+  return kUnordered.count(type) != 0;
+}
+
+std::vector<FlowFinding> UnorderedFlow(const Tokens& t,
+                                       const ParsedFile& parsed, const Fn& fn,
+                                       const SymbolTable& syms,
+                                       bool protocol_dir) {
+  std::vector<FlowFinding> out;
+  std::set<std::string> dedupe;  // "kind|line|var"
+  auto flag = [&](FlowFinding::Kind kind, std::uint32_t line,
+                  const std::string& var) {
+    const std::string key = std::to_string(static_cast<int>(kind)) + "|" +
+                            std::to_string(line) + "|" + var;
+    if (!dedupe.insert(key).second) return;
+    out.push_back(FlowFinding{line, kind, var});
+  };
+
+  auto is_unordered_var = [&](const std::string& name, std::size_t at) {
+    const Symbol* s = syms.LookupAt(name, at);
+    return s != nullptr && IsUnorderedType(s->type);
+  };
+
+  // name -> line: constructed from unordered iteration, not yet sorted or
+  // read. A read flags det-unordered-iter and moves the name to tainted_.
+  std::map<std::string, std::uint32_t> pending;
+  std::set<std::string> tainted;
+  std::set<std::string> iter_read_flagged;  // one read flag per variable
+
+  // Reads a span for sink purposes: pending names get their deferred
+  // iter flag; tainted names trigger the protocol escape (when enabled).
+  auto scan_sink_span = [&](std::size_t from, std::size_t until,
+                            bool escape_sink) {
+    for (std::size_t k = from; k < until && k < t.size(); ++k) {
+      if (t[k].kind != Token::Kind::kIdent) continue;
+      if (k > 0 && (t[k - 1].Is(".") || t[k - 1].Is("->"))) continue;
+      const std::string& name = t[k].text;
+      auto p = pending.find(name);
+      if (p != pending.end()) {
+        if (iter_read_flagged.insert(name).second) {
+          flag(FlowFinding::Kind::kUnorderedIter, t[k].line, name);
+        }
+        pending.erase(p);
+        tainted.insert(name);
+      }
+      if (escape_sink && protocol_dir && tainted.count(name)) {
+        flag(FlowFinding::Kind::kProtocolEscape, t[k].line, name);
+      }
+    }
+  };
+
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != Token::Kind::kIdent) continue;
+
+    // --- kill: sort/stable_sort applied to a variable -----------------
+    if (IsAnyOf(tok, {"sort", "stable_sort"}) && i + 1 < fn.body_end &&
+        t[i + 1].Is("(")) {
+      const std::size_t close = parsed.match[i + 1] != kNoMatch
+                                    ? parsed.match[i + 1]
+                                    : MatchForward(t, i + 1, "(", ")");
+      const std::size_t base = BaseIdent(t, i + 2, close);
+      if (base != kNoMatch) {
+        pending.erase(t[base].text);
+        tainted.erase(t[base].text);
+      }
+      i = close;
+      continue;
+    }
+
+    // --- source: range-for over an unordered container ----------------
+    if (tok.IsIdent("for") && i + 1 < fn.body_end && t[i + 1].Is("(")) {
+      const std::size_t open = i + 1;
+      const std::size_t close = parsed.match[open] != kNoMatch
+                                    ? parsed.match[open]
+                                    : MatchForward(t, open, "(", ")");
+      // The range-for `:` sits at parenthesis depth 1.
+      std::size_t colon = kNoMatch;
+      int depth = 0;
+      for (std::size_t k = open; k < close; ++k) {
+        if (t[k].Is("(") || t[k].Is("[") || t[k].Is("{")) ++depth;
+        if (t[k].Is(")") || t[k].Is("]") || t[k].Is("}")) --depth;
+        if (t[k].Is(":") && depth == 1) {
+          colon = k;
+          break;
+        }
+        if (t[k].Is(";")) break;  // classic for
+      }
+      if (colon == kNoMatch) continue;
+      const std::size_t base = BaseIdent(t, colon + 1, close);
+      if (base == kNoMatch) continue;
+      const std::string& range = t[base].text;
+      bool taints_loop_vars = false;
+      if (is_unordered_var(range, base)) {
+        flag(FlowFinding::Kind::kUnorderedIter, t[base].line, range);
+        taints_loop_vars = true;
+      } else if (pending.count(range)) {
+        if (iter_read_flagged.insert(range).second) {
+          flag(FlowFinding::Kind::kUnorderedIter, t[base].line, range);
+        }
+        pending.erase(range);
+        tainted.insert(range);
+        taints_loop_vars = true;
+      } else if (tainted.count(range)) {
+        taints_loop_vars = true;  // unsorted copy: contents still tainted
+      }
+      if (taints_loop_vars) {
+        for (const Symbol& s : syms.All()) {
+          if (s.decl_index > open && s.decl_index < colon) {
+            tainted.insert(s.name);
+          }
+        }
+      }
+      i = close;
+      continue;
+    }
+
+    // --- source: .begin() family on an unordered container ------------
+    if (IsBeginCall(t, i) && is_unordered_var(tok.text, i)) {
+      const std::size_t stmt = StmtStart(t, i, fn.body_begin + 1);
+      // A declaration in the same statement captures the iteration
+      // instead of exposing it: taint the declared name.
+      std::string decl_name;
+      for (const Symbol& s : syms.All()) {
+        if (s.decl_index >= stmt && s.decl_index < i) decl_name = s.name;
+      }
+      if (decl_name.empty()) {
+        // Direct-init declarations (`std::vector<T> out(x.begin(), ...)`)
+        // have no `=` tail, so the symbol table misses them; recover the
+        // shape here: the identifier owning the call parenthesis that
+        // encloses us, with a plausible type to its left.
+        for (std::size_t k = i; k-- > stmt;) {
+          if (!t[k].Is("(")) continue;
+          const std::size_t close = parsed.match[k];
+          if (close == kNoMatch || close < i) continue;
+          if (k > stmt && t[k - 1].kind == Token::Kind::kIdent) {
+            std::size_t name_idx = k - 1;
+            std::size_t back = name_idx;
+            while (back > stmt &&
+                   (t[back - 1].Is("&") || t[back - 1].Is("*"))) {
+              --back;
+            }
+            const bool has_type =
+                back > stmt && (t[back - 1].kind == Token::Kind::kIdent ||
+                                t[back - 1].Is(">") || t[back - 1].Is(">>"));
+            if (has_type && !IsAnyOf(t[name_idx], {"if", "while", "return",
+                                                   "switch", "for"})) {
+              decl_name = t[name_idx].text;
+            }
+          }
+          break;
+        }
+      }
+      if (!decl_name.empty()) {
+        pending[decl_name] = tok.line;
+      } else {
+        flag(FlowFinding::Kind::kUnorderedIter, tok.line, tok.text);
+      }
+      i += 3;  // past `. begin (`
+      continue;
+    }
+
+    // --- spread: assignment with a tainted right-hand side ------------
+    if (tok.kind == Token::Kind::kIdent && i + 1 < fn.body_end) {
+      std::size_t eq = kNoMatch;
+      if (t[i + 1].Is("=") &&
+          !(i + 2 < fn.body_end && t[i + 2].Is("="))) {  // not `==`
+        eq = i + 1;
+      } else if (i + 2 < fn.body_end && t[i + 2].Is("=") &&
+                 t[i + 1].kind == Token::Kind::kPunct &&
+                 IsAnyOf(t[i + 1], {"+", "-", "*", "/", "%", "|", "^"})) {
+        eq = i + 2;  // compound assignment, lexed as op then `=`
+      }
+      const bool member = i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+      if (eq != kNoMatch && !member) {
+        const std::size_t end = StmtEnd(t, eq, fn.body_end);
+        bool rhs_tainted = false;
+        for (std::size_t k = eq + 1; k < end; ++k) {
+          if (t[k].kind == Token::Kind::kIdent && tainted.count(t[k].text)) {
+            rhs_tainted = true;
+            break;
+          }
+        }
+        if (rhs_tainted) tainted.insert(tok.text);
+        // Reassignment from a clean source clears nothing: a variable
+        // that ever held hash-ordered data stays suspicious (cheap and
+        // conservative). Pending vars *are* cleared: the old iteration
+        // result is gone before anyone read it.
+        if (!rhs_tainted) pending.erase(tok.text);
+      }
+    }
+
+    // --- sinks ---------------------------------------------------------
+    if (IsAnyOf(tok, {"Send", "SendBatch", "Awake", "push_back",
+                      "emplace_back"}) &&
+        i + 1 < fn.body_end && t[i + 1].Is("(")) {
+      const std::size_t close = parsed.match[i + 1] != kNoMatch
+                                    ? parsed.match[i + 1]
+                                    : MatchForward(t, i + 1, "(", ")");
+      scan_sink_span(i + 2, close, /*escape_sink=*/true);
+      continue;
+    }
+    if (tok.IsIdent("Message") && i + 1 < fn.body_end && t[i + 1].Is("{")) {
+      const std::size_t close = parsed.match[i + 1] != kNoMatch
+                                    ? parsed.match[i + 1]
+                                    : MatchForward(t, i + 1, "{", "}");
+      scan_sink_span(i + 2, close, /*escape_sink=*/true);
+      continue;
+    }
+    if (tok.IsIdent("return") || tok.IsIdent("co_return")) {
+      scan_sink_span(i + 1, StmtEnd(t, i, fn.body_end),
+                     /*escape_sink=*/true);
+      continue;
+    }
+
+    // --- deferred read of a pending variable ---------------------------
+    if (pending.count(tok.text)) {
+      const bool member = i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+      const bool is_decl_site = [&] {
+        const Symbol* s = syms.LookupAt(tok.text, i);
+        return s != nullptr && s->decl_index == i;
+      }();
+      // Plain reassignment is handled above (clears pending); anything
+      // else that mentions the name reads it.
+      const bool reassign =
+          i + 1 < fn.body_end && t[i + 1].Is("=") &&
+          !(i + 2 < fn.body_end && t[i + 2].Is("="));
+      if (!member && !is_decl_site && !reassign) {
+        if (iter_read_flagged.insert(tok.text).second) {
+          flag(FlowFinding::Kind::kUnorderedIter, tok.line, tok.text);
+        }
+        pending.erase(tok.text);
+        tainted.insert(tok.text);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace smst_lint

@@ -1,0 +1,51 @@
+// smst_lint flow: a linear statement-flow walk per function span.
+//
+// The v1 rules flagged syntax ("an unordered container is iterated");
+// the v2 determinism rules flag dataflow ("hash order reaches something
+// that matters"). This module implements the shared taint walk:
+//
+//   sources   range-for over an unordered local/param; `.begin()` (and
+//             cousins) on one. A source inside a declaration's
+//             initializer taints the declared variable instead of
+//             flagging immediately (`vector out(chosen.begin(), ...)`).
+//   kills     `sort`/`stable_sort` applied to a tainted variable: the
+//             contents stop depending on hash order.
+//   spread    plain and compound assignment: a tainted right-hand side
+//             taints the assigned variable.
+//   sinks     reading a still-tainted variable (det-unordered-iter), and
+//             — in protocol dirs — a tainted value escaping into the
+//             protocol surface: `return`, Send/SendBatch/Awake argument
+//             lists, `Message{...}` construction, push_back/emplace_back
+//             (det-unordered-protocol).
+//
+// The walk is a single forward pass in token order: no loops-to-fixpoint,
+// no branches — statements are analyzed in source order, which matches
+// how the project's straight-line protocol blocks actually read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parser.h"
+#include "symtab.h"
+
+namespace smst_lint {
+
+struct FlowFinding {
+  std::uint32_t line = 0;
+  enum class Kind { kUnorderedIter, kProtocolEscape } kind;
+  std::string detail;  // variable involved, for the message
+};
+
+// Runs the unordered-order taint walk over one function. `protocol_dir`
+// enables the escape sinks (det-unordered-protocol).
+std::vector<FlowFinding> UnorderedFlow(const Tokens& t,
+                                       const ParsedFile& parsed, const Fn& fn,
+                                       const SymbolTable& syms,
+                                       bool protocol_dir);
+
+// True if `type` names one of the std unordered containers.
+bool IsUnorderedType(std::string_view type);
+
+}  // namespace smst_lint

@@ -1,14 +1,33 @@
 #include "rules.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 #include <string_view>
 
-namespace smst_lint {
-namespace {
+#include "flow.h"
+#include "parser.h"
+#include "symtab.h"
 
-using Tokens = std::vector<Token>;
+namespace smst_lint {
+
+std::string NormalizeLine(const std::string& line) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Path scoping. Rules that only make sense for protocol code key off the
@@ -41,134 +60,10 @@ bool InAlgoDir(std::string_view path) {
   return HasDirSegment(path, "mst") || HasDirSegment(path, "sleeping");
 }
 
-// ---------------------------------------------------------------------------
-// Token-walk helpers.
-// ---------------------------------------------------------------------------
-
-std::size_t MatchForward(const Tokens& t, std::size_t open,
-                         std::string_view open_s, std::string_view close_s) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].Is(open_s)) ++depth;
-    if (t[i].Is(close_s) && --depth == 0) return i;
-  }
-  return t.size();
-}
-
-std::size_t MatchBackward(const Tokens& t, std::size_t close,
-                          std::string_view open_s, std::string_view close_s) {
-  int depth = 0;
-  for (std::size_t i = close + 1; i-- > 0;) {
-    if (t[i].Is(close_s)) ++depth;
-    if (t[i].Is(open_s) && --depth == 0) return i;
-  }
-  return 0;
-}
-
-bool IsAnyOf(const Token& tok, std::initializer_list<std::string_view> set) {
-  for (std::string_view s : set) {
-    if (tok.text == s) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Function extraction. A candidate body is a `{` preceded (modulo
-// cv/noexcept specifiers and constructor init lists) by `name(...)`.
-// Lambdas are excluded (their tokens stay inside the enclosing function's
-// span). This is a heuristic: local classes and function-try-blocks are
-// imperfectly handled, which is acceptable for lint purposes.
-// ---------------------------------------------------------------------------
-
-struct Fn {
-  std::string name;
-  std::uint32_t line = 0;        // line of the body's `{`
-  std::size_t body_begin = 0;    // index of `{`
-  std::size_t body_end = 0;      // index of matching `}` (or tokens.size())
-  bool returns_task = false;     // declared return type names Task<...>
-  bool task_void = false;        // ... and the payload is void / empty
-  bool has_co_await = false;
-  bool has_co_return = false;
-};
-
-std::vector<Fn> FindFunctions(const Tokens& t) {
-  std::vector<Fn> fns;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!t[i].Is("{")) continue;
-
-    // Scan back over trailing specifiers.
-    std::size_t j = i;
-    while (j > 0 && IsAnyOf(t[j - 1], {"const", "noexcept", "override",
-                                       "final", "mutable", "&", "&&"})) {
-      --j;
-    }
-    if (j == 0 || !t[j - 1].Is(")")) continue;
-
-    // Walk back through `) [: init-list]` to the parameter list of the
-    // function itself.
-    std::size_t close = j - 1;
-    std::size_t name_idx = 0;
-    while (true) {
-      const std::size_t open = MatchBackward(t, close, "(", ")");
-      if (open == 0) break;
-      const Token& before = t[open - 1];
-      if (before.kind != Token::Kind::kIdent) break;
-      if (IsAnyOf(before, {"if", "for", "while", "switch", "catch", "return",
-                           "co_await", "co_return", "sizeof", "alignof",
-                           "noexcept", "new", "delete"})) {
-        break;  // control flow / operator, not a function header
-      }
-      // Constructor init-list entry? Keep walking left.
-      if (open >= 2 && (t[open - 2].Is(",") || t[open - 2].Is(":")) &&
-          open >= 3 && t[open - 3].Is(")")) {
-        close = open - 3;
-        continue;
-      }
-      if (open >= 2 && (t[open - 2].Is(",") || t[open - 2].Is(":"))) {
-        // `: member_(x) {` where the thing left of `:`/`,` is not `)` —
-        // first init entry; hop over the `:` to the parameter list.
-        std::size_t k = open - 2;
-        while (k > 0 && !t[k].Is(":")) k = MatchBackward(t, k, "(", ")") - 1;
-        if (k > 0 && t[k - 1].Is(")")) {
-          close = k - 1;
-          continue;
-        }
-      }
-      name_idx = open - 1;
-      break;
-    }
-    if (name_idx == 0) continue;
-
-    Fn fn;
-    fn.name = t[name_idx].text;
-    fn.line = t[i].line;
-    fn.body_begin = i;
-    fn.body_end = MatchForward(t, i, "{", "}");
-
-    // Return type: scan left of the name for `Task <`.
-    for (std::size_t k = name_idx; k-- > 0;) {
-      const Token& tok = t[k];
-      if (IsAnyOf(tok, {";", "}", "{", ")", "(", "public", "private",
-                        "protected"})) {
-        break;
-      }
-      if (tok.IsIdent("Task") && k + 1 < t.size() && t[k + 1].Is("<")) {
-        fn.returns_task = true;
-        fn.task_void =
-            k + 2 < t.size() && (t[k + 2].Is("void") || t[k + 2].Is(">"));
-        break;
-      }
-    }
-
-    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
-      if (t[k].IsIdent("co_await") || t[k].IsIdent("co_yield")) {
-        fn.has_co_await = true;
-      }
-      if (t[k].IsIdent("co_return")) fn.has_co_return = true;
-    }
-    fns.push_back(std::move(fn));
-  }
-  return fns;
+// Sharded-runtime dirs: the shard-* pack only applies where per-shard
+// state and the exchange exist.
+bool InShardedDir(std::string_view path) {
+  return HasDirSegment(path, "sharded");
 }
 
 // ---------------------------------------------------------------------------
@@ -179,38 +74,18 @@ const std::set<std::string_view> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
 
+// Per-shard state that must never travel in a WireEntry: these objects are
+// owned by one worker thread and poked without synchronization.
+const std::set<std::string_view> kShardLocalTypes = {
+    "Scheduler", "Metrics",  "Auditor", "NodeMetrics",
+    "FlatRuntime", "FramePool", "Shard"};
+
 bool IsMemberAccess(const Tokens& t, std::size_t i) {
   return i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
 }
 
-// Locals declared as unordered containers within [begin, end):
-// `unordered_xxx < ... > [&*]* name`.
-std::map<std::string, std::uint32_t> UnorderedLocals(const Tokens& t,
-                                                     std::size_t begin,
-                                                     std::size_t end) {
-  std::map<std::string, std::uint32_t> vars;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (t[i].kind != Token::Kind::kIdent || !kUnorderedTypes.count(t[i].text)) {
-      continue;
-    }
-    if (i + 1 >= end || !t[i + 1].Is("<")) continue;
-    std::size_t gt = i + 1;
-    int depth = 0;
-    for (; gt < end; ++gt) {
-      if (t[gt].Is("<")) ++depth;
-      if (t[gt].Is(">") && --depth == 0) break;
-      if (t[gt].Is(">>")) {
-        depth -= 2;
-        if (depth <= 0) break;
-      }
-    }
-    std::size_t k = gt + 1;
-    while (k < end && (t[k].Is("&") || t[k].Is("*"))) ++k;
-    if (k < end && t[k].kind == Token::Kind::kIdent) {
-      vars.emplace(t[k].text, t[k].line);
-    }
-  }
-  return vars;
+bool IsFlatResumeMacro(const Token& tok) {
+  return tok.IsIdent("SMST_FLAT_AWAKE") || tok.IsIdent("SMST_FLAT_SUB");
 }
 
 // ---------------------------------------------------------------------------
@@ -220,37 +95,86 @@ std::map<std::string, std::uint32_t> UnorderedLocals(const Tokens& t,
 class Analysis {
  public:
   explicit Analysis(const LexedFile& file)
-      : file_(file), t_(file.tokens), fns_(FindFunctions(file.tokens)) {}
+      : file_(file), t_(file.tokens), parsed_(Parse(file)) {
+    symtabs_.reserve(parsed_.fns.size());
+    for (const Fn& fn : parsed_.fns) {
+      symtabs_.push_back(SymbolTable::Build(t_, parsed_, fn));
+    }
+  }
 
-  std::vector<Finding> Run() {
+  FileAnalysis Run() {
     DeterminismPack();
     CongestPack();
     CoroutinePack();
+    FlatPack();
+    ShardPack();
+    CollectTwinFacts();
 
-    std::vector<Finding> kept;
+    FileAnalysis out;
+    out.path = file_.path;
     for (Finding& f : findings_) {
       if (!file_.suppressions.Suppressed(f.line, f.rule)) {
-        kept.push_back(std::move(f));
+        out.findings.push_back(std::move(f));
       }
     }
-    std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
-      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-    });
-    return kept;
+    std::sort(out.findings.begin(), out.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    out.findings.erase(std::unique(out.findings.begin(), out.findings.end()),
+                       out.findings.end());
+    for (const TwinDecl& tw : file_.twins) {
+      TwinRef ref;
+      ref.flat_class = tw.flat_class;
+      ref.coro_name = tw.coro_name;
+      ref.line = tw.line;
+      ref.suppressed =
+          file_.suppressions.Suppressed(tw.line, "flat-twin-drift");
+      ref.norm_text = LineText(tw.line);
+      out.twins.push_back(std::move(ref));
+    }
+    out.class_facts = std::move(class_facts_);
+    out.fn_facts = std::move(fn_facts_);
+    return out;
   }
 
  private:
+  std::string LineText(std::uint32_t line) const {
+    if (line >= 1 && line <= file_.lines.size()) {
+      return NormalizeLine(file_.lines[line - 1]);
+    }
+    return std::string();
+  }
+
   void Flag(std::uint32_t line, std::string_view rule,
             std::string_view message) {
-    findings_.push_back(
-        Finding{file_.path, line, std::string(rule), std::string(message)});
+    findings_.push_back(Finding{file_.path, line, std::string(rule),
+                                std::string(message), LineText(line)});
+  }
+
+  // Innermost function whose body contains token index `idx`; kNoMatch
+  // when none.
+  std::size_t EnclosingFn(std::size_t idx) const {
+    std::size_t best = kNoMatch;
+    for (std::size_t f = 0; f < parsed_.fns.size(); ++f) {
+      const Fn& fn = parsed_.fns[f];
+      if (fn.body_begin < idx && idx < fn.body_end &&
+          (best == kNoMatch ||
+           fn.body_begin > parsed_.fns[best].body_begin)) {
+        best = f;
+      }
+    }
+    return best;
+  }
+
+  std::size_t Close(std::size_t open, std::string_view o,
+                    std::string_view c) const {
+    return parsed_.match[open] != kNoMatch ? parsed_.match[open]
+                                           : MatchForward(t_, open, o, c);
   }
 
   // --- determinism ------------------------------------------------------
   void DeterminismPack() {
-    const auto unordered_vars = UnorderedLocals(t_, 0, t_.size());
-    const bool protocol_dir = InProtocolDir(file_.path);
-
     for (std::size_t i = 0; i < t_.size(); ++i) {
       const Token& tok = t_[i];
       if (tok.kind != Token::Kind::kIdent) continue;
@@ -289,41 +213,27 @@ class Analysis {
              "std::chrono clock reads make runs irreproducible; simulation "
              "time is Scheduler rounds, bench timing belongs in bench/");
       }
-
-      if (protocol_dir && kUnorderedTypes.count(tok.text)) {
-        Flag(tok.line, "det-unordered-protocol",
-             "unordered containers are banned in protocol code "
-             "(mst/sleeping/lower_bounds/energy): hash order can leak into "
-             "messages and round behavior; use a sorted flat container");
-      }
-
-      // Iteration-order exposure of an unordered local.
-      if (kUnorderedTypes.count(tok.text)) continue;
-      if (unordered_vars.count(tok.text) == 0) continue;
-      if (i + 2 < t_.size() && t_[i + 1].Is(".") &&
-          IsAnyOf(t_[i + 2], {"begin", "cbegin", "rbegin", "crbegin"}) &&
-          i + 3 < t_.size() && t_[i + 3].Is("(")) {
-        Flag(tok.line, "det-unordered-iter",
-             "iterating an unordered container exposes hash order, which "
-             "varies across libraries and ASLR; sort first, or suppress with "
-             "a comment explaining why order is inert");
-      }
     }
 
-    // Range-for over an unordered local.
-    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
-      if (!t_[i].IsIdent("for") || !t_[i + 1].Is("(")) continue;
-      const std::size_t close = MatchForward(t_, i + 1, "(", ")");
-      for (std::size_t k = i + 2; k < close; ++k) {
-        if (!t_[k].Is(":")) continue;
-        if (k + 1 < close && t_[k + 1].kind == Token::Kind::kIdent &&
-            unordered_vars.count(t_[k + 1].text)) {
-          Flag(t_[k + 1].line, "det-unordered-iter",
-               "iterating an unordered container exposes hash order, which "
-               "varies across libraries and ASLR; sort first, or suppress "
-               "with a comment explaining why order is inert");
+    // Hash-order dataflow, per function (flow.h): iteration sources,
+    // sort kills, assignment spread, read and protocol-escape sinks.
+    const bool protocol_dir = InProtocolDir(file_.path);
+    for (std::size_t f = 0; f < parsed_.fns.size(); ++f) {
+      for (const FlowFinding& ff : UnorderedFlow(t_, parsed_, parsed_.fns[f],
+                                                 symtabs_[f], protocol_dir)) {
+        if (ff.kind == FlowFinding::Kind::kUnorderedIter) {
+          Flag(ff.line, "det-unordered-iter",
+               "hash-order iteration reaches '" + ff.detail +
+                   "' without a sort; unordered iteration order varies "
+                   "across libraries and ASLR — sort first, or suppress "
+                   "with a note on why order is inert");
+        } else {
+          Flag(ff.line, "det-unordered-protocol",
+               "value derived from unordered-container iteration escapes "
+               "into the protocol surface through '" + ff.detail +
+                   "'; hash order must not influence messages or round "
+                   "behavior — sort before building protocol data");
         }
-        break;  // only the range-for colon
       }
     }
 
@@ -368,7 +278,7 @@ class Analysis {
 
     // Lane packing (the coloring's Pack4 idiom: fields ORed into 16-bit
     // lanes) without a width guard in the same function.
-    for (const Fn& fn : fns_) {
+    for (const Fn& fn : parsed_.fns) {
       std::set<std::string> shifts;
       std::uint32_t first_line = 0;
       bool guarded = false;
@@ -395,7 +305,8 @@ class Analysis {
 
   // --- coroutine safety -------------------------------------------------
   void CoroutinePack() {
-    for (const Fn& fn : fns_) {
+    for (std::size_t f = 0; f < parsed_.fns.size(); ++f) {
+      const Fn& fn = parsed_.fns[f];
       if (fn.returns_task && !fn.task_void && fn.has_co_await &&
           !fn.has_co_return) {
         Flag(fn.line, "coro-missing-co-return",
@@ -404,11 +315,15 @@ class Analysis {
       }
       if (!fn.has_co_await) continue;
 
-      // By-reference lambda captures inside a coroutine.
+      // By-reference lambda captures inside a coroutine. A *stored*
+      // lambda (`auto f = [&]...`) can be called after any later
+      // suspension, so it is always flagged. An inline lambda consumed by
+      // the same statement (a sort comparator, an algorithm callback) is
+      // only dangerous when that statement itself suspends.
       for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
         if (!t_[k].Is("[")) continue;
         if (k + 1 < fn.body_end && t_[k + 1].Is("[")) {  // [[attribute]]
-          k = MatchForward(t_, k, "[", "]");
+          k = Close(k, "[", "]");
           continue;
         }
         // Subscript (`a[i]`, `](...)[0]`) vs lambda introducer.
@@ -417,67 +332,388 @@ class Analysis {
                                    ? !IsAnyOf(prev, {"return", "co_return",
                                                      "co_await", "co_yield"})
                                    : prev.Is("]") || prev.Is(")");
-        const std::size_t close = MatchForward(t_, k, "[", "]");
+        const std::size_t close = Close(k, "[", "]");
         if (!subscript) {
+          bool ref_capture = false;
           for (std::size_t m = k + 1; m < close; ++m) {
             if (t_[m].Is("&") || t_[m].Is("&&")) {
-              Flag(t_[k].line, "coro-ref-capture",
-                   "by-reference lambda capture inside a coroutine; if the "
-                   "lambda outlives a suspension the captured frame slots "
-                   "dangle — capture by value, or suppress with a note that "
-                   "the lambda never crosses a co_await");
+              ref_capture = true;
               break;
             }
+          }
+          if (ref_capture && prev.Is("=")) {
+            Flag(t_[k].line, "coro-ref-capture",
+                 "stored lambda captures by reference inside a coroutine; "
+                 "if it is invoked after a suspension the captured frame "
+                 "slots dangle — capture by value, or suppress with a note "
+                 "that the lambda never crosses a co_await");
+          } else if (ref_capture && StatementAwaits(fn, k, close)) {
+            Flag(t_[k].line, "coro-ref-capture",
+                 "by-reference lambda capture in a statement that "
+                 "suspends; the lambda may run while the frame is parked — "
+                 "capture by value, or suppress with a why-safe note");
           }
         }
         k = close;
       }
 
-      // Address of a local escaping before a later co_await.
-      std::set<std::string> locals;
+      // Address of a local escaping with a suspension still ahead inside
+      // the local's scope.
+      const SymbolTable& syms = symtabs_[f];
       for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
-        if (t_[k].kind != Token::Kind::kIdent) continue;
-        const Token& prev = t_[k - 1];
-        const Token& next = t_[k + 1];
-        const bool decl_tail =
-            next.Is("=") || next.Is(";") || next.Is("{");
-        const bool type_ahead =
-            (prev.kind == Token::Kind::kIdent &&
-             !IsAnyOf(prev, {"return", "co_return", "co_await", "co_yield",
-                             "delete", "new", "goto", "else", "do", "throw",
-                             "case", "operator"})) ||
-            prev.Is(">") || prev.Is("*") || prev.Is("&");
-        if (decl_tail && type_ahead) locals.insert(t_[k].text);
-      }
-      std::size_t last_await = fn.body_begin;
-      for (std::size_t k = fn.body_end; k-- > fn.body_begin;) {
-        if (t_[k].IsIdent("co_await")) {
-          last_await = k;
-          break;
-        }
-      }
-      for (std::size_t k = fn.body_begin + 1; k + 1 < last_await; ++k) {
         if (!t_[k].Is("&")) continue;
         if (!IsAnyOf(t_[k - 1], {"=", "(", ",", "return"})) continue;
         const Token& target = t_[k + 1];
-        if (target.kind != Token::Kind::kIdent || !locals.count(target.text)) {
+        if (target.kind != Token::Kind::kIdent) continue;
+        if (k + 2 < t_.size() && t_[k + 2].Is("::")) continue;
+        const Symbol* s = syms.LookupAt(target.text, k);
+        if (s == nullptr || s->is_param) continue;
+        const std::size_t horizon = std::min(s->scope_end, fn.body_end);
+        for (std::size_t m = k + 1; m < horizon; ++m) {
+          if (t_[m].IsIdent("co_await") || t_[m].IsIdent("co_yield")) {
+            Flag(t_[k].line, "coro-local-addr",
+                 "address of coroutine local '" + s->name +
+                     "' escapes with a suspension still ahead in its "
+                     "scope; if the consumer dereferences it while the "
+                     "coroutine is parked the frame slot may be stale — "
+                     "pass by value or suppress with a why-safe note");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // True when the statement containing the lambda at [open, close]
+  // contains a co_await/co_yield outside the lambda's own body.
+  bool StatementAwaits(const Fn& fn, std::size_t open,
+                       std::size_t close) const {
+    std::size_t begin = fn.body_begin + 1;
+    for (std::size_t k = open; k-- > fn.body_begin + 1;) {
+      if (t_[k].Is(";") || t_[k].Is("{") || t_[k].Is("}")) {
+        begin = k + 1;
+        break;
+      }
+    }
+    // Lambda body: first `{` after the introducer (past any parameter
+    // list); skip it when scanning for the statement's own awaits.
+    std::size_t lam_open = close + 1;
+    while (lam_open < fn.body_end && !t_[lam_open].Is("{") &&
+           !t_[lam_open].Is(";")) {
+      ++lam_open;
+    }
+    const std::size_t lam_close = lam_open < fn.body_end && t_[lam_open].Is("{")
+                                      ? Close(lam_open, "{", "}")
+                                      : lam_open;
+    std::size_t end = lam_close;
+    while (end < fn.body_end && !t_[end].Is(";")) ++end;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (k >= lam_open && k <= lam_close) continue;
+      if (t_[k].IsIdent("co_await") || t_[k].IsIdent("co_yield")) return true;
+    }
+    return false;
+  }
+
+  // --- flat lowering ----------------------------------------------------
+  void FlatPack() {
+    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+      if (!t_[i].IsIdent("switch") || !t_[i + 1].Is("(")) continue;
+      const std::size_t hclose = Close(i + 1, "(", ")");
+      if (hclose + 1 >= t_.size() || !t_[hclose + 1].Is("{")) continue;
+      const std::size_t body = hclose + 1;
+      const std::size_t bclose = Close(body, "{", "}");
+      bool duff = false;
+      for (std::size_t k = body + 1; k < bclose; ++k) {
+        if (IsFlatResumeMacro(t_[k])) {
+          duff = true;
+          break;
+        }
+      }
+      if (!duff) {
+        i = hclose;  // keep scanning inside the body for nested switches
+        continue;
+      }
+      AnalyzeDuffSwitch(i, body, bclose);
+      i = hclose;
+    }
+  }
+
+  // First token of the last top-level statement in [from, to); kNoMatch
+  // when the span holds no statement.
+  std::size_t LastStmtFirstToken(std::size_t from, std::size_t to) {
+    std::size_t last_first = kNoMatch;
+    bool expect = true;
+    for (std::size_t k = from; k < to; ++k) {
+      if (expect && !t_[k].Is(";")) {
+        last_first = k;
+        expect = false;
+      }
+      if (t_[k].Is("{")) {
+        k = Close(k, "{", "}");
+        expect = true;
+        continue;
+      }
+      if (t_[k].Is("(")) {
+        k = Close(k, "(", ")");
+        continue;
+      }
+      if (t_[k].Is(";")) expect = true;
+    }
+    return last_first;
+  }
+
+  void AnalyzeDuffSwitch(std::size_t sw, std::size_t body,
+                         std::size_t bclose) {
+    // Top-level labels: `case X :` / `default :` at brace depth 0 inside
+    // the switch body. Macro-generated `case __LINE__:` labels are
+    // invisible (the lexer skips preprocessor output it never sees), so
+    // the labels here are exactly the ones a human wrote.
+    struct Label {
+      std::size_t idx = 0;    // the `case`/`default` token
+      std::size_t colon = 0;  // its `:`
+      bool is_case0 = false;
+    };
+    std::vector<Label> labels;
+    bool has_default = false;
+    for (std::size_t k = body + 1; k < bclose; ++k) {
+      if (t_[k].Is("{")) {
+        k = Close(k, "{", "}");
+        continue;
+      }
+      if (t_[k].Is("(")) {
+        k = Close(k, "(", ")");
+        continue;
+      }
+      if (t_[k].IsIdent("case")) {
+        Label lb;
+        lb.idx = k;
+        lb.colon = k;
+        while (lb.colon < bclose && !t_[lb.colon].Is(":")) ++lb.colon;
+        lb.is_case0 = k + 1 < bclose && t_[k + 1].Is("0");
+        labels.push_back(lb);
+        k = lb.colon;
+      } else if (t_[k].IsIdent("default") && k + 1 < bclose &&
+                 t_[k + 1].Is(":")) {
+        labels.push_back(Label{k, k + 1, false});
+        has_default = true;
+        k = k + 1;
+      }
+    }
+    bool has_case0 = false;
+    for (const Label& lb : labels) has_case0 |= lb.is_case0;
+    if (!has_case0) {
+      Flag(t_[sw].line, "flat-missing-case",
+           "flat state-machine switch has no top-level `case 0:`; a fresh "
+           "frame (pc == 0) would hit undefined dispatch — add the entry "
+           "label");
+    }
+    if (!has_default) {
+      Flag(t_[sw].line, "flat-missing-case",
+           "flat state-machine switch has no `default:`; a corrupt pc "
+           "must fail loudly (`default: throw ...`), not fall out of the "
+           "switch");
+    }
+
+    // Fallthrough between consecutive top-level labels: the last
+    // top-level statement before a label must be a terminator.
+    for (std::size_t j = 0; j + 1 < labels.size(); ++j) {
+      std::size_t last_first =
+          LastStmtFirstToken(labels[j].colon + 1, labels[j + 1].idx);
+      // A bare-block statement (`case 0: { ... }`) terminates iff its own
+      // last statement does — descend instead of flagging the brace.
+      while (last_first != kNoMatch && t_[last_first].Is("{")) {
+        const std::size_t close = Close(last_first, "{", "}");
+        if (close == kNoMatch || close <= last_first) break;
+        last_first = LastStmtFirstToken(last_first + 1, close);
+      }
+      if (last_first == kNoMatch) continue;  // empty span: label grouping
+      if (!IsAnyOf(t_[last_first],
+                   {"return", "co_return", "throw", "break", "continue",
+                    "goto"})) {
+        Flag(t_[labels[j + 1].idx].line, "flat-fallthrough",
+             "resume label reached by fallthrough: the previous label's "
+             "code does not end in return/throw/break — states must not "
+             "bleed into each other; terminate the span explicitly");
+      }
+    }
+
+    // Locals declared inside the switch body but read after a resume
+    // point: the frame is gone after the enclosing function returns, so
+    // the read sees a fresh (reinitialized or stale) value.
+    const std::size_t f = EnclosingFn(sw);
+    if (f == kNoMatch) return;
+    const SymbolTable& syms = symtabs_[f];
+    std::vector<std::size_t> resumes;  // index past the macro call's `)`
+    for (std::size_t k = body + 1; k < bclose; ++k) {
+      if (!IsFlatResumeMacro(t_[k])) continue;
+      if (k + 1 < bclose && t_[k + 1].Is("(")) {
+        resumes.push_back(Close(k + 1, "(", ")"));
+      } else {
+        resumes.push_back(k);
+      }
+    }
+    for (const Symbol& s : syms.All()) {
+      if (s.is_param) continue;
+      if (s.decl_index <= body || s.decl_index >= bclose) continue;
+      std::size_t resume = kNoMatch;
+      for (std::size_t r : resumes) {
+        if (r > s.decl_index && r < s.scope_end) {
+          resume = r;
+          break;
+        }
+      }
+      if (resume == kNoMatch) continue;
+      const std::size_t horizon = std::min(s.scope_end, bclose);
+      for (std::size_t k = resume + 1; k < horizon; ++k) {
+        if (t_[k].kind != Token::Kind::kIdent || t_[k].text != s.name) {
           continue;
         }
-        if (k + 2 < t_.size() && t_[k + 2].Is("::")) continue;
-        Flag(t_[k].line, "coro-local-addr",
-             "address of a coroutine local escapes before a later co_await; "
-             "if the consumer dereferences it while this coroutine is "
-             "suspended the frame slot may be stale — pass by value or "
-             "suppress with a why-safe note");
+        if (IsMemberAccess(t_, k)) continue;
+        Flag(t_[k].line, "flat-local-across-resume",
+             "local '" + s.name + "' (declared line " +
+                 std::to_string(s.line) +
+                 ") is read after a resume point; the C++ stack frame "
+                 "does not survive the return — persist the value in the "
+                 "flat state struct instead");
+        break;
       }
+    }
+  }
+
+  // --- sharded runtime --------------------------------------------------
+  void ShardPack() {
+    if (!InShardedDir(file_.path)) return;
+    for (std::size_t f = 0; f < parsed_.fns.size(); ++f) {
+      const Fn& fn = parsed_.fns[f];
+
+      // Barrier ordering: within a function that synchronizes on the
+      // round barrier, inbound drains must happen after the send barrier
+      // and outbound pushes before it — otherwise one shard reads rings
+      // another shard is still writing.
+      std::vector<std::size_t> barriers;
+      for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+        if (t_[k].kind == Token::Kind::kIdent &&
+            IsAnyOf(t_[k], {"arrive_and_wait", "arrive_and_drop"})) {
+          barriers.push_back(k);
+        }
+      }
+      if (!barriers.empty()) {
+        for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+          if (t_[k].kind != Token::Kind::kIdent || k + 1 >= fn.body_end ||
+              !t_[k + 1].Is("(")) {
+            continue;
+          }
+          if (t_[k].Is("DrainInto") && k < barriers.front()) {
+            Flag(t_[k].line, "shard-barrier-order",
+                 "DrainInto before the first round barrier: peers may "
+                 "still be pushing into this ring — drain only after "
+                 "arrive_and_wait");
+          }
+          if (t_[k].Is("Push") && k > barriers.back()) {
+            Flag(t_[k].line, "shard-barrier-order",
+                 "Push after the last round barrier: the receiving shard "
+                 "may already be draining this ring — push before "
+                 "arrive_and_wait");
+          }
+        }
+      }
+
+      // Shard-local state escaping into wire entries.
+      const SymbolTable& syms = symtabs_[f];
+      for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+        if (t_[k].kind != Token::Kind::kIdent) continue;
+        std::size_t span_begin = kNoMatch, span_end = kNoMatch;
+        if (t_[k].Is("WireEntry") && t_[k + 1].Is("{")) {
+          span_begin = k + 1;  // WireEntry{...} temporary
+          span_end = Close(span_begin, "{", "}");
+        } else if (t_[k].Is("WireEntry") && k + 2 < fn.body_end &&
+                   t_[k + 1].kind == Token::Kind::kIdent &&
+                   t_[k + 2].Is("{")) {
+          span_begin = k + 2;  // WireEntry e{...} declaration
+          span_end = Close(span_begin, "{", "}");
+        } else if (t_[k].Is("Push") && t_[k + 1].Is("(")) {
+          span_begin = k + 1;
+          span_end = Close(span_begin, "(", ")");
+        } else {
+          continue;
+        }
+        for (std::size_t m = span_begin + 1; m + 1 < span_end; ++m) {
+          if (!t_[m].Is("&")) continue;
+          if (!IsAnyOf(t_[m - 1], {"=", "(", ",", "{"})) continue;
+          const Token& target = t_[m + 1];
+          if (target.kind != Token::Kind::kIdent) continue;
+          const Symbol* s = syms.LookupAt(target.text, m);
+          if (s == nullptr || !kShardLocalTypes.count(s->type)) continue;
+          Flag(t_[m].line, "shard-local-escape",
+               "address of shard-local '" + s->name + "' (type " + s->type +
+                   ") escapes into a wire entry; the receiving shard "
+                   "would touch another worker's unsynchronized state — "
+                   "send values, not pointers");
+        }
+        k = span_begin;  // idents inside the span may open nested spans
+      }
+    }
+  }
+
+  // --- twin facts (for the cross-TU flat-twin-drift pass) ---------------
+  void CollectTwinFacts() {
+    for (const Fn& fn : parsed_.fns) {
+      TwinFacts facts;
+      for (std::size_t k = fn.body_begin; k < fn.body_end && k < t_.size();
+           ++k) {
+        if (t_[k].kind == Token::Kind::kIdent &&
+            t_[k].text.rfind("kTag", 0) == 0) {
+          facts.tags.push_back(t_[k].text);
+        }
+        if (t_[k].kind == Token::Kind::kString && !t_[k].literal.empty()) {
+          facts.literals.push_back(t_[k].literal);
+        }
+      }
+      auto merge = [](TwinFacts& into, const TwinFacts& from) {
+        into.tags.insert(into.tags.end(), from.tags.begin(), from.tags.end());
+        into.literals.insert(into.literals.end(), from.literals.begin(),
+                             from.literals.end());
+        std::sort(into.tags.begin(), into.tags.end());
+        into.tags.erase(std::unique(into.tags.begin(), into.tags.end()),
+                        into.tags.end());
+        std::sort(into.literals.begin(), into.literals.end());
+        into.literals.erase(
+            std::unique(into.literals.begin(), into.literals.end()),
+            into.literals.end());
+      };
+      merge(fn_facts_[fn.name], facts);
+      if (!fn.class_name.empty()) merge(class_facts_[fn.class_name], facts);
     }
   }
 
   const LexedFile& file_;
   const Tokens& t_;
-  std::vector<Fn> fns_;
+  ParsedFile parsed_;
+  std::vector<SymbolTable> symtabs_;
   std::vector<Finding> findings_;
+  std::map<std::string, TwinFacts> class_facts_;
+  std::map<std::string, TwinFacts> fn_facts_;
 };
+
+std::string Truncate(const std::string& s, std::size_t max) {
+  if (s.size() <= max) return s;
+  return s.substr(0, max) + "...";
+}
+
+// Elements of `a` missing from `b` (both sorted), rendered for a message.
+std::string MissingFrom(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b, bool quote) {
+  std::vector<std::string> diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff));
+  std::string out;
+  for (std::size_t i = 0; i < diff.size() && i < 3; ++i) {
+    if (!out.empty()) out += ", ";
+    out += quote ? "\"" + Truncate(diff[i], 40) + "\"" : diff[i];
+  }
+  if (diff.size() > 3) out += ", ...";
+  return out;
+}
 
 }  // namespace
 
@@ -486,10 +722,11 @@ const std::vector<RuleDesc>& AllRules() {
       {"det-rand", "C library randomness (rand/srand/drand48/...)"},
       {"det-random-device", "std::random_device entropy outside the seed"},
       {"det-wall-clock", "wall-clock reads (time/clock/chrono ::now)"},
-      {"det-unordered-iter", "iteration over an unordered container"},
+      {"det-unordered-iter",
+       "hash-order iteration reaching a read without a sort"},
       {"det-unordered-protocol",
-       "unordered container in protocol dirs (mst/sleeping/lower_bounds/"
-       "energy)"},
+       "hash-order data escaping into the protocol surface "
+       "(mst/sleeping/lower_bounds/energy)"},
       {"det-pointer-key", "pointer values used as associative-container keys"},
       {"congest-scheduler-access",
        "Scheduler/Simulator access from algorithm dirs (mst/sleeping)"},
@@ -497,13 +734,87 @@ const std::vector<RuleDesc>& AllRules() {
       {"coro-ref-capture", "by-reference lambda capture in a coroutine"},
       {"coro-missing-co-return",
        "value-returning Task coroutine without co_return"},
-      {"coro-local-addr", "local address escaping before a later co_await"},
+      {"coro-local-addr",
+       "local address escaping with a suspension still ahead"},
+      {"flat-missing-case",
+       "flat state-machine switch without case 0 / default"},
+      {"flat-fallthrough",
+       "flat resume label reached by fallthrough from the previous state"},
+      {"flat-local-across-resume",
+       "flat state-machine local read across a resume point"},
+      {"flat-twin-drift",
+       "flat class and coroutine twin disagree on tags or error strings"},
+      {"shard-barrier-order",
+       "exchange Push/DrainInto on the wrong side of the round barrier"},
+      {"shard-local-escape",
+       "address of shard-local state escaping into a wire entry"},
   };
   return kRules;
 }
 
-std::vector<Finding> AnalyzeFile(const LexedFile& file) {
+FileAnalysis AnalyzeFile(const LexedFile& file) {
   return Analysis(file).Run();
+}
+
+void CrossCheckTwins(std::vector<FileAnalysis>& files) {
+  std::map<std::string, TwinFacts> classes, fns;
+  auto merge = [](TwinFacts& into, const TwinFacts& from) {
+    into.tags.insert(into.tags.end(), from.tags.begin(), from.tags.end());
+    into.literals.insert(into.literals.end(), from.literals.begin(),
+                         from.literals.end());
+    std::sort(into.tags.begin(), into.tags.end());
+    into.tags.erase(std::unique(into.tags.begin(), into.tags.end()),
+                    into.tags.end());
+    std::sort(into.literals.begin(), into.literals.end());
+    into.literals.erase(
+        std::unique(into.literals.begin(), into.literals.end()),
+        into.literals.end());
+  };
+  for (const FileAnalysis& fa : files) {
+    for (const auto& [name, facts] : fa.class_facts) merge(classes[name], facts);
+    for (const auto& [name, facts] : fa.fn_facts) merge(fns[name], facts);
+  }
+
+  for (FileAnalysis& fa : files) {
+    bool appended = false;
+    for (const TwinRef& tw : fa.twins) {
+      if (tw.suppressed) continue;
+      auto ci = classes.find(tw.flat_class);
+      auto fi = fns.find(tw.coro_name);
+      // Lenient when either side is outside the analyzed set: a partial
+      // run (single file, fixtures) must not produce phantom drift.
+      if (ci == classes.end() || fi == fns.end()) continue;
+      std::string parts;
+      auto add = [&parts](std::string_view what, const std::string& items) {
+        if (items.empty()) return;
+        if (!parts.empty()) parts += "; ";
+        parts += std::string(what) + ": " + items;
+      };
+      add("tags only in flat",
+          MissingFrom(ci->second.tags, fi->second.tags, false));
+      add("tags only in coroutine",
+          MissingFrom(fi->second.tags, ci->second.tags, false));
+      add("strings only in flat",
+          MissingFrom(ci->second.literals, fi->second.literals, true));
+      add("strings only in coroutine",
+          MissingFrom(fi->second.literals, ci->second.literals, true));
+      if (parts.empty()) continue;
+      fa.findings.push_back(Finding{
+          fa.path, tw.line, "flat-twin-drift",
+          "flat class " + tw.flat_class + " and coroutine " + tw.coro_name +
+              " have drifted apart (" + parts +
+              "); the flat lowering must stay behaviorally identical to "
+              "its coroutine twin",
+          tw.norm_text});
+      appended = true;
+    }
+    if (appended) {
+      std::sort(fa.findings.begin(), fa.findings.end(),
+                [](const Finding& a, const Finding& b) {
+                  return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+                });
+    }
+  }
 }
 
 }  // namespace smst_lint

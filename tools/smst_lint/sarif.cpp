@@ -1,0 +1,89 @@
+#include "sarif.h"
+
+#include <cstdio>
+
+namespace smst_lint {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings,
+                        std::string_view version) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"smst_lint\",\n";
+  out += "          \"version\": \"" + std::string(version) + "\",\n";
+  out +=
+      "          \"informationUri\": "
+      "\"https://example.invalid/smst/tools/smst_lint\",\n"
+      "          \"rules\": [\n";
+  const auto& rules = AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + std::string(rules[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           Escape(std::string(rules[i].summary)) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + Escape(f.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + Escape(f.message) +
+           "\"},\n";
+    out +=
+        "          \"locations\": [{\"physicalLocation\": "
+        "{\"artifactLocation\": {\"uri\": \"" +
+        Escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+        std::to_string(f.line) + "}}}]";
+    if (f.baselined) {
+      out += ",\n          \"suppressions\": [{\"kind\": \"external\"}]\n";
+    } else {
+      out += "\n";
+    }
+    out += "        }";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace smst_lint

@@ -1,0 +1,21 @@
+// smst_lint SARIF output: serializes findings as a SARIF 2.1.0 log so CI
+// systems (GitHub code scanning et al.) can ingest lint results natively.
+//
+// One run, one tool ("smst_lint"), every rule from AllRules() in the
+// driver's rules array. Baselined findings are emitted with an external
+// suppression rather than dropped, so the SARIF log is the complete
+// picture and consumers decide what to surface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace smst_lint {
+
+// `version` stamps tool.driver.version.
+std::string SarifReport(const std::vector<Finding>& findings,
+                        std::string_view version);
+
+}  // namespace smst_lint
